@@ -1,0 +1,144 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark wraps one experiment from internal/experiments; run
+// cmd/crystalbench for the full paper-formatted sweep and EXPERIMENTS.md
+// for the paper-vs-measured record.
+//
+// These are macro-benchmarks: an iteration is a full experiment (often
+// entire emulation lifecycles in virtual time), so b.N typically stays 1.
+// Set CRYSTALNET_FULL=1 to run Figure 8/9 with more repetitions and a
+// larger L-DC scale.
+package crystalnet_test
+
+import (
+	"os"
+	"testing"
+
+	"crystalnet/internal/experiments"
+)
+
+func full() bool { return os.Getenv("CRYSTALNET_FULL") != "" }
+
+// BenchmarkTable1_IncidentCoverage replays one incident per Table 1 root-
+// cause class under the emulation and the verification baseline.
+func BenchmarkTable1_IncidentCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) != 5 {
+			b.Fatal("bad row count")
+		}
+		for _, r := range rows {
+			if r.RootCause == "Software bugs" && (!r.CrystalNet || r.Verification) {
+				b.Fatalf("software-bug coverage wrong: %+v", r)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure1_AggregationImbalance measures the vendor-divergent
+// aggregation imbalance at R8.
+func BenchmarkFigure1_AggregationImbalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure1(200)
+		if r.R7Share < 0.95 {
+			b.Fatalf("imbalance not reproduced: %+v", r)
+		}
+		b.ReportMetric(r.R7Share*100, "r7-share-%")
+	}
+}
+
+// BenchmarkFigure7_BoundarySafety checks the three Figure 7 boundaries with
+// the Lemma 5.1 propagation checker and Propositions 5.2/5.3.
+func BenchmarkFigure7_BoundarySafety(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure7()
+		if rows[0].LemmaSafe || !rows[1].LemmaSafe || !rows[2].LemmaSafe {
+			b.Fatalf("safety verdicts wrong: %+v", rows)
+		}
+	}
+}
+
+// BenchmarkTable3_NetworkScales generates the three evaluation fabrics.
+func BenchmarkTable3_NetworkScales(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3()
+		b.ReportMetric(float64(rows[2].Routes), "ldc-routes")
+	}
+}
+
+// BenchmarkFigure8_MockupLatency runs the whole-DC emulation latency sweep.
+// Default: S-DC and M-DC at 2 reps (regression-grade; cmd/crystalbench is
+// the full driver with L-DC and percentiles); CRYSTALNET_FULL=1 adds a
+// 1/4-scale L-DC at 5 reps; -short keeps only S-DC.
+func BenchmarkFigure8_MockupLatency(b *testing.B) {
+	cfg := experiments.Figure8Config{Reps: 2, LDCScale: 8, SkipLDC: true}
+	if full() {
+		cfg.Reps, cfg.LDCScale, cfg.SkipLDC = 5, 4, false
+	}
+	if testing.Short() {
+		cfg.SkipMDC, cfg.SkipLDC = true, true
+	}
+	for i := 0; i < b.N; i++ {
+		points := experiments.Figure8(cfg)
+		for _, p := range points {
+			if p.Mockup.P50 <= 0 {
+				b.Fatalf("no mockup latency for %s/%d", p.DC, p.VMs)
+			}
+		}
+		b.ReportMetric(points[0].Mockup.P50.Minutes(), "sdc-mockup-min")
+	}
+}
+
+// BenchmarkFigure9_CPUUtilization records the p95 per-VM CPU curve during
+// Mockup.
+func BenchmarkFigure9_CPUUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.Figure9(8, !full())
+		peak := 0.0
+		for _, u := range series[0].MinutesP95 {
+			if u > peak {
+				peak = u
+			}
+		}
+		if peak < 0.5 {
+			b.Fatalf("no CPU burst recorded: peak %.2f", peak)
+		}
+		b.ReportMetric(peak*100, "peak-p95-cpu-%")
+	}
+}
+
+// BenchmarkSec83_ReloadRecovery measures two-layer vs strawman reload and
+// VM failure recovery.
+func BenchmarkSec83_ReloadRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Sec83()
+		if r.StrawmanReload <= r.TwoLayerReload {
+			b.Fatalf("ablation inverted: %+v", r)
+		}
+		b.ReportMetric(r.TwoLayerReload.Seconds(), "two-layer-reload-s")
+		b.ReportMetric(r.StrawmanReload.Seconds(), "strawman-reload-s")
+		b.ReportMetric(r.RecoveryDense.Seconds(), "vm-recovery-s")
+	}
+}
+
+// BenchmarkTable4_SafeBoundaryScale runs Algorithm 1 on the full L-DC for
+// the two §8.4 validation cases.
+func BenchmarkTable4_SafeBoundaryScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table4()
+		if rows[0].CostReduction < 0.9 {
+			b.Fatalf("cost reduction %.2f < 90%%", rows[0].CostReduction)
+		}
+		b.ReportMetric(rows[0].CostReduction*100, "one-pod-cost-cut-%")
+	}
+}
+
+// BenchmarkSec9_CrossValidation runs the §9 FIB-comparator experiment.
+func BenchmarkSec9_CrossValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.CrossValidate()
+		if r.ECMPAwareDiffs != 0 || r.StrictDiffs == 0 {
+			b.Fatalf("comparator behaviour wrong: %+v", r)
+		}
+		b.ReportMetric(float64(r.StrictDiffs), "strict-diffs")
+	}
+}

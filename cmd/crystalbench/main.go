@@ -1,0 +1,81 @@
+// Command crystalbench regenerates every table and figure of the paper's
+// evaluation and prints them in the paper's format. See EXPERIMENTS.md for
+// the paper-vs-measured record.
+//
+// Usage:
+//
+//	crystalbench [-reps N] [-ldcscale N] [-quick] [-only table1,figure8,...]
+//
+// -quick runs a reduced sweep (fewer repetitions, no M-DC/L-DC in the
+// latency figures). -ldcscale divides L-DC's pod count; 1 attempts the full
+// 4636-device fabric (needs tens of GB of RAM).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"crystalnet/internal/experiments"
+)
+
+func main() {
+	reps := flag.Int("reps", 5, "repetitions per Figure 8 configuration (paper: 10)")
+	ldcScale := flag.Int("ldcscale", 8, "L-DC downscale divisor (1 = full fabric)")
+	quick := flag.Bool("quick", false, "reduced sweep: S-DC only, 2 reps")
+	only := flag.String("only", "", "comma-separated subset: table1,figure1,figure7,table3,figure8,figure9,sec83,table4")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	run := func(key string) bool { return len(want) == 0 || want[key] }
+	section := func(title string) { fmt.Printf("\n==== %s ====\n\n", title) }
+
+	if run("table1") {
+		section("Table 1 — incident root causes: emulation vs verification coverage")
+		fmt.Print(experiments.FormatTable1(experiments.Table1()))
+	}
+	if run("figure1") {
+		section("Figure 1 — vendor-divergent IP aggregation: traffic imbalance at R8")
+		fmt.Print(experiments.FormatFigure1(experiments.Figure1(200)))
+	}
+	if run("figure7") {
+		section("Figure 7 — safe vs unsafe static boundaries")
+		fmt.Print(experiments.FormatFigure7(experiments.Figure7()))
+	}
+	if run("table3") {
+		section("Table 3 — evaluation datacenter fabrics")
+		fmt.Print(experiments.FormatTable3(experiments.Table3()))
+	}
+	if run("figure8") {
+		section("Figure 8 — mockup / network-ready / route-ready / clear latencies")
+		cfg := experiments.Figure8Config{Reps: *reps, LDCScale: *ldcScale}
+		if *quick {
+			cfg.Reps, cfg.SkipMDC, cfg.SkipLDC = 2, true, true
+		}
+		fmt.Print(experiments.FormatFigure8(experiments.Figure8(cfg)))
+		fmt.Println("\n(virtual-time measurements on the simulated cloud; L-DC runs at 1/",
+			*ldcScale, "pod scale unless -ldcscale=1)")
+	}
+	if run("figure9") {
+		section("Figure 9 — p95 per-VM CPU utilization during Mockup (by minute)")
+		fmt.Print(experiments.FormatFigure9(experiments.Figure9(*ldcScale, *quick)))
+	}
+	if run("sec83") {
+		section("§8.3 — reload latency (two-layer vs strawman) and VM recovery")
+		fmt.Print(experiments.FormatSec83(experiments.Sec83()))
+	}
+	if run("table4") {
+		section("Table 4 — safe-boundary emulation scales in L-DC")
+		fmt.Print(experiments.FormatTable4(experiments.Table4()))
+	}
+	if run("sec9") {
+		section("§9 — FIB cross-validation: strict vs ECMP-aware comparator")
+		fmt.Print(experiments.FormatCrossValidate(experiments.CrossValidate()))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,164 @@
+// Command crystalctl is the operator CLI for CrystalNet: it prepares and
+// mocks up an emulation of one of the evaluation fabrics (or a safe
+// boundary within one) and runs a validation action against it — the
+// command-line face of the paper's Table 2 API.
+//
+// Usage:
+//
+//	crystalctl [flags] <command> [args]
+//
+// Commands:
+//
+//	plan                  compute and print the safe boundary (no emulation)
+//	mockup                mock up, converge, print metrics and a state summary
+//	fibs <device>         mock up and dump a device's forwarding table
+//	exec <device> <cmd>   mock up and run a CLI command over the mgmt plane
+//	trace <device> <ip>   mock up and trace a probe packet from a device
+//
+// Flags:
+//
+//	-dc sdc|mdc|ldc   fabric (default sdc)
+//	-ldcscale N       L-DC downscale divisor (default 8)
+//	-must a,b,c       emulate only a safe boundary around these devices
+//	-vms N            override the VM budget
+//	-seed N           simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"crystalnet"
+	"crystalnet/internal/topo"
+)
+
+func main() {
+	log.SetFlags(0)
+	dc := flag.String("dc", "sdc", "fabric: sdc, mdc or ldc")
+	ldcScale := flag.Int("ldcscale", 8, "L-DC downscale divisor")
+	must := flag.String("must", "", "comma-separated must-emulate devices (Algorithm 1 grows the boundary)")
+	vms := flag.Int("vms", 0, "VM budget override")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+
+	var spec crystalnet.ClosSpec
+	switch *dc {
+	case "sdc":
+		spec = crystalnet.SDC()
+	case "mdc":
+		spec = crystalnet.MDC()
+	case "ldc":
+		spec = topo.LDCScaled(*ldcScale)
+	default:
+		log.Fatalf("unknown -dc %q", *dc)
+	}
+	network := crystalnet.GenerateClos(spec)
+	topo.AttachWAN(network, spec, 2)
+
+	var mustList []string
+	if *must != "" {
+		mustList = strings.Split(*must, ",")
+	}
+	o := crystalnet.New(crystalnet.Options{Seed: *seed, VMCount: *vms})
+	prep, err := o.Prepare(crystalnet.PrepareInput{Network: network, MustEmulate: mustList})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scale := prep.Plan.Scale()
+	fmt.Printf("%s: %d devices, boundary %d, speakers %d, %d VMs",
+		spec.Name, scale.TotalEmulated, scale.Boundary, scale.Speakers, len(prep.VMs()))
+	if prep.SafetyErr != nil {
+		fmt.Printf(" — UNSAFE: %v\n", prep.SafetyErr)
+	} else {
+		fmt.Printf(" — boundary safe\n")
+	}
+
+	if cmd == "plan" {
+		fmt.Printf("internal: %s\n", strings.Join(prep.Plan.Internal, " "))
+		fmt.Printf("boundary: %s\n", strings.Join(prep.Plan.Boundary, " "))
+		fmt.Printf("speakers: %s\n", strings.Join(prep.Plan.Speakers, " "))
+		return
+	}
+
+	em, err := o.Mockup(prep, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, err := em.RunUntilConverged(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mockup: network-ready %s, route-ready %s, total %s (virtual), $%.2f/h\n",
+		metrics.NetworkReady.Round(time.Second), metrics.RouteReady.Round(time.Second),
+		metrics.Mockup.Round(time.Second), o.Cloud.HourlyCostUSD())
+
+	switch cmd {
+	case "mockup":
+		var running, established, fibTotal int
+		for _, st := range em.PullStates() {
+			if st.State == crystalnet.DeviceRunning {
+				running++
+			}
+			established += st.Established
+			fibTotal += st.FIBLen
+		}
+		fmt.Printf("devices running: %d/%d, BGP sessions established: %d, total FIB entries: %d\n",
+			running, len(em.Devices), established/2, fibTotal)
+	case "fibs":
+		need(flag.NArg() >= 2, "fibs <device>")
+		snap, ok := em.PullFIBs()[flag.Arg(1)]
+		if !ok {
+			log.Fatalf("no device %q", flag.Arg(1))
+		}
+		fmt.Print(snap.String())
+	case "exec":
+		need(flag.NArg() >= 3, "exec <device> <command>")
+		s, err := em.Login(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := s.Exec(strings.Join(flag.Args()[2:], " "))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	case "trace":
+		need(flag.NArg() >= 3, "trace <device> <ip>")
+		from := flag.Arg(1)
+		dev, ok := em.Devices[from]
+		if !ok {
+			log.Fatalf("no device %q", from)
+		}
+		if _, err := em.InjectPackets(from, crystalnet.PacketMeta{
+			Src: dev.Config().Loopback.Addr, Dst: crystalnet.MustParseIP(flag.Arg(2)),
+			Proto: crystalnet.ProtoUDP, SrcPort: 33434, DstPort: 33434, TTL: 32,
+		}, 1, time.Millisecond); err != nil {
+			log.Fatal(err)
+		}
+		em.RunUntilConverged(0)
+		for _, p := range crystalnet.ComputePaths(em.PullPackets()) {
+			fmt.Printf("%s (delivered: %v)\n", p, p.Delivered)
+		}
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+
+	em.Clear(nil)
+	o.Eng.Run(0)
+	o.Destroy(prep)
+}
+
+func need(ok bool, usage string) {
+	if !ok {
+		log.Fatalf("usage: crystalctl %s", usage)
+	}
+}

@@ -1,0 +1,200 @@
+// Package crystalnet is the public facade of the CrystalNet network
+// emulator — a from-scratch Go reproduction of "CrystalNet: Faithfully
+// Emulating Large Production Networks" (SOSP 2017).
+//
+// CrystalNet boots vendor device firmware inside PhyNet container sandboxes
+// on (simulated) cloud VMs, wires them into the production topology with
+// VXLAN virtual links, loads production configurations, surrounds the
+// emulation with static BGP speakers at a provably safe boundary, and lets
+// operators rehearse network operations — firmware upgrades, configuration
+// changes, failure drills — with the same tools they use in production.
+//
+// Typical use:
+//
+//	o := crystalnet.New(crystalnet.Options{Seed: 1})
+//	prep, err := o.Prepare(crystalnet.PrepareInput{
+//		Network:     network,            // production topology snapshot
+//		MustEmulate: []string{"tor-p7-0"}, // Algorithm 1 grows a safe boundary
+//	})
+//	em, err := o.Mockup(prep, false)
+//	metrics, err := em.RunUntilConverged(0)
+//	// ... validate: em.PullFIBs(), em.InjectPackets(...), em.Login(...)
+//	em.Clear(nil)
+//	o.Destroy(prep)
+//
+// The facade re-exports the orchestration API from internal/core plus the
+// domain types a validation workflow needs. Deeper substrates (the BGP and
+// OSPF stacks, the PhyNet layer, the boundary theory) live in internal/
+// packages and are documented there.
+package crystalnet
+
+import (
+	"crystalnet/internal/bgp"
+	"crystalnet/internal/boundary"
+	"crystalnet/internal/config"
+	"crystalnet/internal/core"
+	"crystalnet/internal/dataplane"
+	"crystalnet/internal/firmware"
+	"crystalnet/internal/netpkt"
+	"crystalnet/internal/rib"
+	"crystalnet/internal/speaker"
+	"crystalnet/internal/telemetry"
+	"crystalnet/internal/topo"
+	"crystalnet/internal/vendors"
+)
+
+// Orchestration API (Table 2 of the paper).
+type (
+	// Orchestrator is the CrystalNet brain: Prepare/Mockup/Destroy.
+	Orchestrator = core.Orchestrator
+	// Options tune seeding, VM packing, bridge backend and ablations.
+	Options = core.Options
+	// PrepareInput is the production snapshot Prepare ingests.
+	PrepareInput = core.PrepareInput
+	// Preparation is Prepare's output and Mockup's input.
+	Preparation = core.Preparation
+	// Emulation is a running mocked-up network with the Control and
+	// Monitor APIs.
+	Emulation = core.Emulation
+	// Metrics are the §8.1 latency measurements.
+	Metrics = core.Metrics
+)
+
+// Topology modelling.
+type (
+	// Network is a device/link topology.
+	Network = topo.Network
+	// Device is one network device.
+	Device = topo.Device
+	// ClosSpec parameterizes a generated Clos datacenter fabric.
+	ClosSpec = topo.ClosSpec
+	// Layer is a device's fabric tier.
+	Layer = topo.Layer
+	// RegionSpec parameterizes the §7 Case-1 multi-DC region.
+	RegionSpec = topo.RegionSpec
+)
+
+// Fabric layers re-exported for topology construction.
+const (
+	LayerHost     = topo.LayerHost
+	LayerToR      = topo.LayerToR
+	LayerLeaf     = topo.LayerLeaf
+	LayerSpine    = topo.LayerSpine
+	LayerBorder   = topo.LayerBorder
+	LayerBackbone = topo.LayerBackbone
+	LayerWAN      = topo.LayerWAN
+	LayerExternal = topo.LayerExternal
+)
+
+// Configuration and validation types.
+type (
+	// DeviceConfig is a vendor-neutral device configuration.
+	DeviceConfig = config.DeviceConfig
+	// PacketMeta is the 5-tuple of an injected probe.
+	PacketMeta = dataplane.PacketMeta
+	// CaptureRecord is one telemetry observation.
+	CaptureRecord = firmware.CaptureRecord
+	// Path is a reconstructed probe trajectory.
+	Path = telemetry.Path
+	// Snapshot is a pulled forwarding table.
+	Snapshot = rib.Snapshot
+	// Announcement is a recorded boundary route a speaker replays.
+	Announcement = speaker.Announcement
+	// Plan classifies devices around an emulation boundary.
+	Plan = boundary.Plan
+)
+
+// Configuration building blocks re-exported for scenario authoring.
+type (
+	// Aggregate is an aggregate-address statement (the Figure 1 feature).
+	Aggregate = config.Aggregate
+	// ACL is an ordered packet filter; ACLRule one entry; ACLBinding its
+	// interface attachment.
+	ACL        = dataplane.ACL
+	ACLRule    = dataplane.ACLRule
+	ACLBinding = config.ACLBinding
+	// Policy is a BGP route-map; Rule one entry; RuleMatch its match block.
+	Policy    = bgp.Policy
+	Rule      = bgp.Rule
+	RuleMatch = bgp.Match
+	// Prefix is an IPv4 CIDR prefix; IP an IPv4 address.
+	Prefix = netpkt.Prefix
+	IP     = netpkt.IP
+	// Image is a bootable vendor firmware image.
+	Image = firmware.VendorImage
+	// DeviceState is the firmware lifecycle state.
+	DeviceState = firmware.DeviceState
+)
+
+// ACL and policy verdicts, binding directions and firmware states.
+const (
+	ACLPermit = dataplane.ACLPermit
+	ACLDeny   = dataplane.ACLDeny
+	Permit    = bgp.Permit
+	Deny      = bgp.Deny
+	In        = config.In
+	Out       = config.Out
+
+	DeviceRunning = firmware.DeviceRunning
+	DeviceCrashed = firmware.DeviceCrashed
+	DeviceStopped = firmware.DeviceStopped
+
+	// ProtoUDP/ProtoTCP/ProtoICMP are IP protocol numbers for probe specs.
+	ProtoUDP  = netpkt.ProtoUDP
+	ProtoTCP  = netpkt.ProtoTCP
+	ProtoICMP = netpkt.ProtoICMP
+)
+
+// MustParsePrefix and MustParseIP parse CIDR/dotted-quad literals.
+func MustParsePrefix(s string) Prefix { return netpkt.MustParsePrefix(s) }
+
+// MustParseIP parses a dotted-quad IPv4 literal.
+func MustParseIP(s string) IP { return netpkt.MustParseIP(s) }
+
+// GenerateRegion builds the multi-datacenter region of §7 Case 1.
+func GenerateRegion(spec RegionSpec) *Network { return topo.GenerateRegion(spec) }
+
+// New creates an orchestrator.
+func New(opts Options) *Orchestrator { return core.New(opts) }
+
+// GenerateClos builds a Clos datacenter fabric from a spec.
+func GenerateClos(spec ClosSpec) *Network { return topo.GenerateClos(spec) }
+
+// NewNetwork returns an empty topology for hand-built scenarios.
+func NewNetwork(name string) *Network { return topo.NewNetwork(name) }
+
+// SDC, MDC and LDC are the paper's evaluation fabrics (Table 3).
+func SDC() ClosSpec { return topo.SDC() }
+
+// MDC returns the medium datacenter spec.
+func MDC() ClosSpec { return topo.MDC() }
+
+// LDC returns the large datacenter spec.
+func LDC() ClosSpec { return topo.LDC() }
+
+// FindSafeDCBoundary is Algorithm 1: grow a must-emulate set to a safe
+// boundary by walking child-to-parent edges.
+func FindSafeDCBoundary(n *Network, must []string) (map[string]bool, error) {
+	return boundary.FindSafeDCBoundary(n, must)
+}
+
+// BuildPlan classifies devices relative to an emulated set and exposes the
+// §5.2 safety checks.
+func BuildPlan(n *Network, emulated map[string]bool) (*Plan, error) {
+	return boundary.BuildPlan(n, emulated)
+}
+
+// ComputePaths reconstructs probe paths from pulled captures.
+func ComputePaths(records []CaptureRecord) []Path { return telemetry.ComputePaths(records) }
+
+// GenerateConfigs derives production-style configurations from a topology.
+func GenerateConfigs(n *Network) map[string]*DeviceConfig { return config.Generate(n) }
+
+// VendorImage returns a vendor's device software image by exact version;
+// DefaultImage returns its production release.
+func VendorImage(name, version string) (firmware.VendorImage, error) {
+	return vendors.Get(name, version)
+}
+
+// DefaultImage returns the vendor's production image.
+func DefaultImage(name string) (firmware.VendorImage, error) { return vendors.Default(name) }

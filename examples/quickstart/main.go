@@ -1,0 +1,83 @@
+// Quickstart: emulate a small BGP Clos fabric end to end.
+//
+// This is the minimal CrystalNet workflow from the paper's Figure 3:
+// Prepare a production snapshot, Mock it up on (simulated) cloud VMs, wait
+// for route convergence, then validate — pull FIBs, trace a probe packet
+// across the fabric, log into a device CLI — and finally Clear and Destroy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"crystalnet"
+)
+
+func main() {
+	// A 2-pod Clos fabric: 4 ToRs, 4 leaves, 4 spines, 2 borders.
+	spec := crystalnet.ClosSpec{
+		Name: "quickstart", Pods: 2, ToRsPerPod: 2, LeavesPerPod: 2,
+		SpineGroups: 1, SpinesPerPlane: 2, BordersPerGroup: 2,
+		PrefixesPerToR: 1,
+	}
+	network := crystalnet.GenerateClos(spec)
+
+	o := crystalnet.New(crystalnet.Options{Seed: 1})
+	prep, err := o.Prepare(crystalnet.PrepareInput{Network: network})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Prepared: %d devices emulated on %d VMs\n",
+		len(prep.Plan.Internal)+len(prep.Plan.Boundary), len(prep.VMs()))
+
+	em, err := o.Mockup(prep, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	metrics, err := em.RunUntilConverged(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Mockup done: network-ready %s, route-ready %s, total %s (virtual time), burn $%.2f/hour\n",
+		metrics.NetworkReady.Round(time.Second), metrics.RouteReady.Round(time.Second),
+		metrics.Mockup.Round(time.Second), o.Cloud.HourlyCostUSD())
+
+	// Monitor: pull one device's forwarding table.
+	fibs := em.PullFIBs()
+	fmt.Printf("\ntor-p0-0 FIB (%d entries):\n%s\n", fibs["tor-p0-0"].Len(), fibs["tor-p0-0"])
+
+	// Control: trace a probe from pod 0 to a server prefix in pod 1.
+	src := em.Devices["tor-p0-0"]
+	dst := network.MustDevice("tor-p1-1").Originated[0]
+	if _, err := em.InjectPackets("tor-p0-0", crystalnet.PacketMeta{
+		Src: src.Config().Loopback.Addr, Dst: dst.Addr + 10,
+		Proto: crystalnet.ProtoUDP, SrcPort: 40000, DstPort: 80, TTL: 32,
+	}, 1, time.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := em.RunUntilConverged(0); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range crystalnet.ComputePaths(em.PullPackets()) {
+		fmt.Printf("probe path: %s (delivered: %v)\n", p, p.Delivered)
+	}
+
+	// Management plane: the same CLI workflow operators use in production.
+	session, err := em.Login("border-g0-0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := session.Exec("show bgp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nborder-g0-0> show bgp\n%s", out)
+
+	em.Clear(nil)
+	o.Eng.Run(0)
+	o.Destroy(prep)
+	fmt.Printf("\nCleared and destroyed. Total simulated cloud spend: $%.2f\n", o.Cloud.CostUSD())
+}

@@ -1,0 +1,3 @@
+module crystalnet
+
+go 1.24

@@ -1,0 +1,615 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"crystalnet/internal/netpkt"
+	"crystalnet/internal/rib"
+)
+
+// Clock is the slice of the simulation engine the router needs. Timers
+// returned by After must be cancelable.
+type Clock interface {
+	After(d time.Duration, fn func()) Timer
+}
+
+// Timer is a cancelable scheduled callback (satisfied by *sim.Timer via the
+// adapter in the firmware package).
+type Timer interface {
+	Cancel() bool
+}
+
+// AggregationASPathMode selects the vendor-specific behaviour when building
+// the AS path of an aggregate route — the root cause of the Figure 1
+// traffic-imbalance incident.
+type AggregationASPathMode uint8
+
+// Aggregation modes.
+const (
+	// AggInheritSelected mirrors Vendor-A (R6 in Figure 1): the aggregate
+	// inherits the AS path of one selected contributor, so the announced
+	// path is {self, <contributor path...>}.
+	AggInheritSelected AggregationASPathMode = iota
+	// AggBarePath mirrors Vendor-C (R7 in Figure 1): the aggregate carries
+	// an empty path with ATOMIC_AGGREGATE, so the announced path is just
+	// {self} — shorter, and therefore preferred by upstream routers.
+	AggBarePath
+)
+
+// AggregateSpec configures one "aggregate-address" statement.
+type AggregateSpec struct {
+	Prefix      netpkt.Prefix
+	SummaryOnly bool // suppress advertisement of contributors
+}
+
+// Config parameterizes a router instance.
+type Config struct {
+	Name     string // device name, for logs
+	AS       uint32
+	RouterID netpkt.IP
+	HoldTime uint16 // advertised hold time; 0 disables keepalive logic
+	// MaxPaths is the ECMP width; 1 disables multipath.
+	MaxPaths int
+	// MRAI is the min route advertisement interval used to batch UPDATEs.
+	MRAI time.Duration
+	// AggregationMode is the vendor quirk knob (Figure 1).
+	AggregationMode AggregationASPathMode
+	// Aggregates are the configured aggregate-address statements.
+	Aggregates []AggregateSpec
+	// NonDeterministicTies makes equal-candidate tie-breaks depend on
+	// arrival order instead of router ID, reproducing the §9
+	// non-determinism. Off by default so tests are reproducible.
+	NonDeterministicTies bool
+}
+
+// Hooks connect the router to its hosting firmware: message transport, FIB
+// programming and logging. All hooks must be non-nil.
+type Hooks struct {
+	// SendToPeer transmits an encoded BGP message towards peer i.
+	SendToPeer func(peerIdx int, data []byte)
+	// InstallRoute programs the FIB. An error is logged; the route stays in
+	// the RIB (mirroring firmware that keeps RIB state when FIB programming
+	// fails — the §2 black-hole incident comes from a vendor hook that
+	// swallows this error silently).
+	InstallRoute func(p netpkt.Prefix, nhs []rib.NextHop) error
+	// RemoveRoute removes a previously installed route.
+	RemoveRoute func(p netpkt.Prefix)
+	// SessionEvent reports session state transitions (for monitoring).
+	SessionEvent func(peerIdx int, state SessionState)
+	// Logf records diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// candidate is one usable route for a prefix.
+type candidate struct {
+	peer  *Peer // nil for locally originated (including aggregates)
+	attrs *Attrs
+	seq   uint64 // arrival order, for non-deterministic tie mode
+}
+
+// ribEntry is the per-prefix Loc-RIB state.
+type ribEntry struct {
+	candidates []candidate
+	// best holds the indices of the current multipath winners;
+	// best[0] is the primary best path (the one advertised).
+	best []int
+	// installed caches the next hops programmed into the FIB.
+	installed []rib.NextHop
+	// lastBest caches the previously advertised primary attrs so decide can
+	// detect visible changes after candidates have been mutated.
+	lastBest *Attrs
+	// suppressed marks contributor prefixes hidden by a summary-only
+	// aggregate.
+	suppressed bool
+}
+
+// Router is one BGP speaker instance.
+type Router struct {
+	cfg   Config
+	clock Clock
+	hooks Hooks
+	peers []*Peer
+
+	locRIB map[netpkt.Prefix]*ribEntry
+	seq    uint64
+
+	// aggState tracks whether each configured aggregate is currently active
+	// and with which attribute set.
+	aggState []aggState
+}
+
+type aggState struct {
+	spec   AggregateSpec
+	active bool
+}
+
+// New creates a router. Defaults: MaxPaths 1, MRAI 50ms.
+func New(cfg Config, clock Clock, hooks Hooks) *Router {
+	if cfg.MaxPaths <= 0 {
+		cfg.MaxPaths = 1
+	}
+	if cfg.MRAI <= 0 {
+		cfg.MRAI = 50 * time.Millisecond
+	}
+	if hooks.Logf == nil {
+		hooks.Logf = func(string, ...any) {}
+	}
+	if hooks.SessionEvent == nil {
+		hooks.SessionEvent = func(int, SessionState) {}
+	}
+	r := &Router{cfg: cfg, clock: clock, hooks: hooks, locRIB: map[netpkt.Prefix]*ribEntry{}}
+	for _, a := range cfg.Aggregates {
+		r.aggState = append(r.aggState, aggState{spec: a})
+	}
+	return r
+}
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// AddPeer registers a neighbor and returns its index. Peers start Idle;
+// call StartPeer once the transport is ready.
+func (r *Router) AddPeer(cfg PeerConfig) *Peer {
+	p := &Peer{
+		router: r,
+		Index:  len(r.peers),
+		Config: cfg,
+		state:  StateIdle,
+	}
+	r.peers = append(r.peers, p)
+	return p
+}
+
+// Peers returns all registered peers.
+func (r *Router) Peers() []*Peer { return r.peers }
+
+// Peer returns the peer with the given index.
+func (r *Router) Peer(i int) *Peer { return r.peers[i] }
+
+// Originate injects a locally originated route (network statement /
+// redistributed connected). It triggers advertisement to all peers.
+func (r *Router) Originate(p netpkt.Prefix) {
+	a := &Attrs{Origin: OriginIGP, Path: EmptyPath, NextHop: 0}
+	r.upsertCandidate(p, nil, a)
+}
+
+// InjectLocal installs a locally originated route with arbitrary
+// attributes — how a boundary speaker replays announcements recorded from
+// production (§5.1). The AS path should exclude the speaker's own AS, which
+// is prepended on export like any eBGP announcement.
+func (r *Router) InjectLocal(p netpkt.Prefix, a *Attrs) {
+	if a.Path == nil {
+		a = a.WithPath(EmptyPath)
+	}
+	r.upsertCandidate(p, nil, a)
+}
+
+// WithdrawLocal removes a locally originated route.
+func (r *Router) WithdrawLocal(p netpkt.Prefix) {
+	r.removeCandidate(p, nil)
+}
+
+// LocRIB returns the number of prefixes with at least one usable candidate.
+func (r *Router) LocRIB() int {
+	n := 0
+	for _, e := range r.locRIB {
+		if len(e.best) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// BestRoute returns the primary best attrs for p and whether p is reachable.
+func (r *Router) BestRoute(p netpkt.Prefix) (*Attrs, bool) {
+	e := r.locRIB[p]
+	if e == nil || len(e.best) == 0 {
+		return nil, false
+	}
+	return e.candidates[e.best[0]].attrs, true
+}
+
+// BestPeers returns the peers providing the current multipath set for p
+// (nil entries for locally originated candidates).
+func (r *Router) BestPeers(p netpkt.Prefix) []*Peer {
+	e := r.locRIB[p]
+	if e == nil {
+		return nil
+	}
+	out := make([]*Peer, 0, len(e.best))
+	for _, i := range e.best {
+		out = append(out, e.candidates[i].peer)
+	}
+	return out
+}
+
+// Prefixes returns all prefixes with a usable best path, in map order.
+func (r *Router) Prefixes() []netpkt.Prefix {
+	out := make([]netpkt.Prefix, 0, len(r.locRIB))
+	for p, e := range r.locRIB {
+		if len(e.best) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// upsertCandidate installs or replaces the candidate from the given source
+// (peer, or nil for local) and re-runs the decision process.
+func (r *Router) upsertCandidate(p netpkt.Prefix, peer *Peer, a *Attrs) {
+	e := r.locRIB[p]
+	if e == nil {
+		e = &ribEntry{}
+		r.locRIB[p] = e
+	}
+	r.seq++
+	for i := range e.candidates {
+		if e.candidates[i].peer == peer {
+			e.candidates[i].attrs = a
+			e.candidates[i].seq = r.seq
+			r.decide(p, e)
+			return
+		}
+	}
+	e.candidates = append(e.candidates, candidate{peer: peer, attrs: a, seq: r.seq})
+	r.decide(p, e)
+}
+
+// removeCandidate drops the candidate from the given source.
+func (r *Router) removeCandidate(p netpkt.Prefix, peer *Peer) {
+	e := r.locRIB[p]
+	if e == nil {
+		return
+	}
+	for i := range e.candidates {
+		if e.candidates[i].peer == peer {
+			e.candidates = append(e.candidates[:i], e.candidates[i+1:]...)
+			r.decide(p, e)
+			return
+		}
+	}
+}
+
+// better reports whether candidate a beats candidate b in the RFC 4271 §9.1
+// decision process (adapted: all-eBGP fabric).
+func (r *Router) better(a, b *candidate) bool {
+	aa, ba := a.attrs, b.attrs
+	if la, lb := aa.EffectiveLocalPref(), ba.EffectiveLocalPref(); la != lb {
+		return la > lb
+	}
+	// Locally originated wins.
+	if (a.peer == nil) != (b.peer == nil) {
+		return a.peer == nil
+	}
+	if la, lb := aa.Path.Length(), ba.Path.Length(); la != lb {
+		return la < lb
+	}
+	if aa.Origin != ba.Origin {
+		return aa.Origin < ba.Origin
+	}
+	// MED comparison only between routes from the same neighboring AS.
+	if aa.Path.First() != 0 && aa.Path.First() == ba.Path.First() {
+		ma, mb := uint32(0), uint32(0)
+		if aa.HasMED {
+			ma = aa.MED
+		}
+		if ba.HasMED {
+			mb = ba.MED
+		}
+		if ma != mb {
+			return ma < mb
+		}
+	}
+	if r.cfg.NonDeterministicTies {
+		// Arrival order decides — models firmware whose tie-break depends
+		// on timing (§9).
+		return a.seq < b.seq
+	}
+	// Lowest peer router ID, then lowest peer address.
+	ida, idb := peerID(a.peer), peerID(b.peer)
+	if ida != idb {
+		return ida < idb
+	}
+	return peerAddr(a.peer) < peerAddr(b.peer)
+}
+
+// multipathEligible reports whether two candidates can share the FIB entry.
+func multipathEligible(a, b *candidate) bool {
+	return a.attrs.EffectiveLocalPref() == b.attrs.EffectiveLocalPref() &&
+		(a.peer == nil) == (b.peer == nil) &&
+		a.attrs.Path.Length() == b.attrs.Path.Length() &&
+		a.attrs.Origin == b.attrs.Origin
+}
+
+func peerID(p *Peer) netpkt.IP {
+	if p == nil {
+		return 0
+	}
+	return p.remoteID
+}
+
+func peerAddr(p *Peer) netpkt.IP {
+	if p == nil {
+		return 0
+	}
+	return p.Config.RemoteIP
+}
+
+// decide recomputes best paths for p, reprograms the FIB and schedules
+// advertisements if the outcome changed.
+func (r *Router) decide(p netpkt.Prefix, e *ribEntry) {
+	prevBestAttrs := e.lastBest
+	prevHops := e.installed
+
+	e.best = e.best[:0]
+	bi := -1
+	for i := range e.candidates {
+		if bi == -1 || r.better(&e.candidates[i], &e.candidates[bi]) {
+			bi = i
+		}
+	}
+	if bi >= 0 {
+		e.best = append(e.best, bi)
+		if r.cfg.MaxPaths > 1 {
+			for i := range e.candidates {
+				if i != bi && len(e.best) < r.cfg.MaxPaths &&
+					multipathEligible(&e.candidates[i], &e.candidates[bi]) {
+					e.best = append(e.best, i)
+				}
+			}
+		}
+	}
+
+	// Program the FIB.
+	hops := r.nextHops(e)
+	if !hopsEqual(hops, prevHops) {
+		if len(hops) == 0 {
+			if len(prevHops) > 0 && r.hooks.RemoveRoute != nil {
+				r.hooks.RemoveRoute(p)
+			}
+		} else if r.hooks.InstallRoute != nil {
+			if err := r.hooks.InstallRoute(p, hops); err != nil {
+				r.hooks.Logf("bgp %s: FIB install %s failed: %v", r.cfg.Name, p, err)
+			}
+		}
+		e.installed = hops
+	}
+
+	// Re-advertise if the exported view changed.
+	newBestAttrs := r.primaryAttrs(e)
+	e.lastBest = newBestAttrs
+	if prevBestAttrs != newBestAttrs {
+		for _, peer := range r.peers {
+			peer.markDirty(p)
+		}
+	}
+
+	// Aggregate maintenance: a change in a contributor may (de)activate an
+	// aggregate.
+	r.updateAggregates(p)
+}
+
+func (r *Router) primaryAttrs(e *ribEntry) *Attrs {
+	if len(e.best) == 0 {
+		return nil
+	}
+	return e.candidates[e.best[0]].attrs
+}
+
+// nextHops maps the best candidate set to FIB next hops. Locally originated
+// routes have no next hops to program (they are connected/static in the FIB
+// already).
+func (r *Router) nextHops(e *ribEntry) []rib.NextHop {
+	var out []rib.NextHop
+	for _, i := range e.best {
+		c := &e.candidates[i]
+		if c.peer == nil {
+			continue
+		}
+		out = append(out, rib.NextHop{IP: c.attrs.NextHop, Interface: c.peer.Config.Interface})
+	}
+	return out
+}
+
+func hopsEqual(a, b []rib.NextHop) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// updateAggregates re-evaluates aggregates whose range covers p.
+func (r *Router) updateAggregates(p netpkt.Prefix) {
+	for i := range r.aggState {
+		st := &r.aggState[i]
+		if !st.spec.Prefix.ContainsPrefix(p) || st.spec.Prefix == p {
+			continue
+		}
+		attrs, nContrib := r.buildAggregate(st.spec)
+		if nContrib > 0 {
+			// Only touch the RIB when the aggregate's attributes actually
+			// changed, to avoid re-advertisement churn.
+			if cur, ok := r.localCandidate(st.spec.Prefix); !st.active || !ok || attrsKey(cur) != attrsKey(attrs) {
+				st.active = true
+				r.upsertCandidate(st.spec.Prefix, nil, attrs)
+			}
+			if st.spec.SummaryOnly {
+				r.setSuppression(st.spec, true)
+			}
+		} else if st.active {
+			st.active = false
+			r.removeCandidate(st.spec.Prefix, nil)
+			if st.spec.SummaryOnly {
+				r.setSuppression(st.spec, false)
+			}
+		}
+	}
+}
+
+// localCandidate returns the locally originated attrs for p, if any.
+func (r *Router) localCandidate(p netpkt.Prefix) (*Attrs, bool) {
+	e := r.locRIB[p]
+	if e == nil {
+		return nil, false
+	}
+	for i := range e.candidates {
+		if e.candidates[i].peer == nil {
+			return e.candidates[i].attrs, true
+		}
+	}
+	return nil, false
+}
+
+// buildAggregate scans the Loc-RIB for contributors and builds the
+// aggregate's attributes per the configured vendor mode.
+func (r *Router) buildAggregate(spec AggregateSpec) (*Attrs, int) {
+	var selected *candidate
+	n := 0
+	for p, e := range r.locRIB {
+		if p == spec.Prefix || !spec.Prefix.ContainsPrefix(p) || len(e.best) == 0 {
+			continue
+		}
+		c := &e.candidates[e.best[0]]
+		if c.attrs.Path != nil && c.attrs.Path.Contains(r.cfg.AS) {
+			continue
+		}
+		n++
+		if selected == nil || r.better(c, selected) {
+			selected = c
+		}
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	a := &Attrs{Origin: OriginIGP, NextHop: 0, AggAS: r.cfg.AS, AggID: r.cfg.RouterID}
+	switch r.cfg.AggregationMode {
+	case AggInheritSelected:
+		// Vendor-A behaviour: inherit the selected contributor's path.
+		a.Path = selected.attrs.Path
+	case AggBarePath:
+		// Vendor-C behaviour: empty path + ATOMIC_AGGREGATE.
+		a.Path = EmptyPath
+		a.Atomic = true
+	}
+	return a, n
+}
+
+// setSuppression flips the suppressed flag of contributors under a
+// summary-only aggregate, queueing re-advertisement where it changed.
+func (r *Router) setSuppression(spec AggregateSpec, suppress bool) {
+	for p, e := range r.locRIB {
+		if p == spec.Prefix || !spec.Prefix.ContainsPrefix(p) {
+			continue
+		}
+		if e.suppressed != suppress {
+			e.suppressed = suppress
+			for _, peer := range r.peers {
+				peer.markDirty(p)
+			}
+		}
+	}
+}
+
+// exportRoute computes what to announce to peer for prefix p. ok=false
+// means "withdraw / do not advertise".
+func (r *Router) exportRoute(peer *Peer, p netpkt.Prefix) (*Attrs, bool) {
+	e := r.locRIB[p]
+	if e == nil || len(e.best) == 0 || e.suppressed {
+		return nil, false
+	}
+	best := &e.candidates[e.best[0]]
+	// Split horizon: never reflect a route to the peer it came from.
+	if best.peer == peer {
+		return nil, false
+	}
+	// Static speakers only ever announce their installed routes (§5.1).
+	if peer.Config.AdvertiseLocalOnly && best.peer != nil {
+		return nil, false
+	}
+	// Sender-side loop avoidance (the behaviour Proposition 5.2 relies on):
+	// do not send a route whose path already contains the peer's AS.
+	if best.attrs.Path.Contains(peer.Config.RemoteAS) || peer.Config.RemoteAS == r.cfg.AS {
+		return nil, false
+	}
+	out, permit := peer.Config.ExportPolicy.Apply(p, best.attrs)
+	if !permit {
+		return nil, false
+	}
+	// eBGP transformations: prepend own AS, next-hop-self, strip LOCAL_PREF,
+	// strip MED unless locally originated.
+	c := *out
+	c.Path = c.Path.Prepend(r.cfg.AS)
+	c.NextHop = peer.Config.LocalIP
+	c.HasLP, c.LocalPref = false, 0
+	if best.peer != nil {
+		c.HasMED, c.MED = false, 0
+	}
+	return &c, true
+}
+
+// attrsKey returns a compact binary fingerprint of exported attributes,
+// used to group prefixes sharing one UPDATE.
+func attrsKey(a *Attrs) string {
+	var b []byte
+	b = append(b, byte(a.Origin))
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], uint32(a.NextHop))
+	b = append(b, tmp[:]...)
+	if a.HasMED {
+		binary.BigEndian.PutUint32(tmp[:], a.MED)
+		b = append(b, 1)
+		b = append(b, tmp[:]...)
+	}
+	if a.HasLP {
+		binary.BigEndian.PutUint32(tmp[:], a.LocalPref)
+		b = append(b, 2)
+		b = append(b, tmp[:]...)
+	}
+	if a.Atomic {
+		b = append(b, 3)
+	}
+	if a.AggAS != 0 {
+		binary.BigEndian.PutUint32(tmp[:], a.AggAS)
+		b = append(b, 4)
+		b = append(b, tmp[:]...)
+	}
+	for _, seg := range a.Path.Segments {
+		b = append(b, byte(seg.Type), byte(len(seg.ASNs)))
+		for _, asn := range seg.ASNs {
+			binary.BigEndian.PutUint32(tmp[:], asn)
+			b = append(b, tmp[:]...)
+		}
+	}
+	return string(b)
+}
+
+// Stats summarizes router state for PullStates.
+type Stats struct {
+	Name        string
+	AS          uint32
+	Established int
+	LocRIB      int
+}
+
+// Stats returns a state summary.
+func (r *Router) Stats() Stats {
+	st := Stats{Name: r.cfg.Name, AS: r.cfg.AS, LocRIB: r.LocRIB()}
+	for _, p := range r.peers {
+		if p.state == StateEstablished {
+			st.Established++
+		}
+	}
+	return st
+}
+
+// String identifies the router in logs.
+func (r *Router) String() string {
+	return fmt.Sprintf("bgp(%s AS%d)", r.cfg.Name, r.cfg.AS)
+}

@@ -1,0 +1,381 @@
+// Package cloud simulates the public-cloud substrate CrystalNet provisions
+// emulation VMs on (§3.1, §6.1): VM SKUs with cores/memory/nested-VM
+// capability, provisioning and boot latencies, per-hour pricing, random VM
+// failures, and a per-VM CPU meter that backs the Figure 9 utilization
+// curves.
+//
+// This replaces Azure in the paper's setup; latency and price constants are
+// calibrated to the numbers the paper reports (4-core/8GB at USD 0.20/hour,
+// ~100 USD/hour for a 500-VM L-DC emulation).
+package cloud
+
+import (
+	"fmt"
+	"time"
+
+	"crystalnet/internal/sim"
+)
+
+// SKU describes a VM type.
+type SKU struct {
+	Name         string
+	Cores        int
+	MemoryGB     int
+	NestedVM     bool // required for VM-based vendor images (§4.1)
+	PricePerHour float64
+	// BootBase/BootJitter model provisioning + boot latency.
+	BootBase   time.Duration
+	BootJitter time.Duration
+}
+
+// Standard SKUs used by the orchestrator (§6.1: typically 4-core 8 or 16GB).
+var (
+	SKUStandard = SKU{Name: "D4-8", Cores: 4, MemoryGB: 8, PricePerHour: 0.20,
+		BootBase: 45 * time.Second, BootJitter: 30 * time.Second}
+	SKUNested = SKU{Name: "D4-8-nested", Cores: 4, MemoryGB: 8, NestedVM: true, PricePerHour: 0.20,
+		BootBase: 60 * time.Second, BootJitter: 30 * time.Second}
+	SKULarge = SKU{Name: "D4-16", Cores: 4, MemoryGB: 16, PricePerHour: 0.24,
+		BootBase: 45 * time.Second, BootJitter: 30 * time.Second}
+)
+
+// VMState is a VM lifecycle state.
+type VMState uint8
+
+// VM lifecycle states.
+const (
+	VMProvisioning VMState = iota
+	VMRunning
+	VMFailed
+	VMStopped
+)
+
+var vmStateNames = [...]string{"provisioning", "running", "failed", "stopped"}
+
+// String returns the state name.
+func (s VMState) String() string {
+	if int(s) < len(vmStateNames) {
+		return vmStateNames[s]
+	}
+	return "unknown"
+}
+
+// VM is one provisioned virtual machine.
+type VM struct {
+	ID    int
+	Name  string
+	SKU   SKU
+	Group string // vendor group label (§6.2 anti-affinity)
+
+	state       VMState
+	provisioned sim.Time // when provisioning started
+	started     sim.Time // when it entered Running
+	stopped     sim.Time
+	runAccum    time.Duration // accumulated running time before last start
+
+	// busy accumulates core-seconds of work per minute bucket for the
+	// Figure 9 CPU model.
+	busy map[int]float64
+
+	// coreFree[i] is the virtual time core i becomes available; the Submit
+	// scheduler assigns jobs to the earliest-free core.
+	coreFree []sim.Time
+
+	waiters []func()
+
+	provider *Provider
+}
+
+// WhenRunning invokes fn once the VM is Running — immediately (as a
+// scheduled event) if it already is, else on its next transition to
+// Running.
+func (vm *VM) WhenRunning(fn func()) {
+	if vm.state == VMRunning {
+		vm.provider.eng.After(0, fn)
+		return
+	}
+	vm.waiters = append(vm.waiters, fn)
+}
+
+func (vm *VM) becameRunning() {
+	ws := vm.waiters
+	vm.waiters = nil
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+// Submit queues coreSeconds of single-threaded CPU work on the VM and
+// invokes done when it completes. Jobs are scheduled work-conserving across
+// the VM's cores: packing many emulated devices on one VM stretches their
+// boot and route-processing times, which is exactly the VM-count effect
+// Figure 8 measures.
+func (vm *VM) Submit(coreSeconds float64, done func()) {
+	if coreSeconds <= 0 {
+		coreSeconds = 1e-6
+	}
+	now := vm.provider.eng.Now()
+	if vm.coreFree == nil {
+		vm.coreFree = make([]sim.Time, vm.SKU.Cores)
+	}
+	// Earliest-free core.
+	best := 0
+	for i := 1; i < len(vm.coreFree); i++ {
+		if vm.coreFree[i] < vm.coreFree[best] {
+			best = i
+		}
+	}
+	start := vm.coreFree[best]
+	if start < now {
+		start = now
+	}
+	end := start.Add(time.Duration(coreSeconds * float64(time.Second)))
+	vm.coreFree[best] = end
+	vm.RecordWork(start, coreSeconds, 1)
+	if done != nil {
+		vm.provider.eng.At(end, done)
+	}
+}
+
+// QueueDelay returns how far in the future the earliest-free core is — a
+// measure of CPU backlog.
+func (vm *VM) QueueDelay() time.Duration {
+	if vm.coreFree == nil {
+		return 0
+	}
+	now := vm.provider.eng.Now()
+	best := vm.coreFree[0]
+	for _, t := range vm.coreFree[1:] {
+		if t < best {
+			best = t
+		}
+	}
+	if best <= now {
+		return 0
+	}
+	return best.Sub(now)
+}
+
+// State returns the VM's lifecycle state.
+func (vm *VM) State() VMState { return vm.state }
+
+// Uptime returns total running time as of now.
+func (vm *VM) Uptime() time.Duration {
+	d := vm.runAccum
+	if vm.state == VMRunning {
+		d += vm.provider.eng.Now().Sub(vm.started)
+	}
+	return d
+}
+
+// RecordWork accounts coreSeconds of CPU consumption starting at t,
+// spreading it across minute buckets at the given core intensity
+// (cores ≤ SKU.Cores). Used by the orchestrator's work model.
+func (vm *VM) RecordWork(t sim.Time, coreSeconds float64, cores float64) {
+	if cores <= 0 {
+		cores = 1
+	}
+	if cores > float64(vm.SKU.Cores) {
+		cores = float64(vm.SKU.Cores)
+	}
+	sec := t.Seconds()
+	remaining := coreSeconds
+	for remaining > 1e-9 {
+		minute := int(sec / 60)
+		room := (float64(minute+1)*60 - sec) * cores // core-seconds until bucket end
+		use := remaining
+		if use > room {
+			use = room
+		}
+		vm.busy[minute] += use
+		remaining -= use
+		sec = float64(minute+1) * 60
+	}
+}
+
+// Utilization returns the fraction of the VM's CPU capacity consumed during
+// the given minute (0-based from simulation start), capped at 1.
+func (vm *VM) Utilization(minute int) float64 {
+	u := vm.busy[minute] / (60 * float64(vm.SKU.Cores))
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Provider is the simulated cloud.
+type Provider struct {
+	eng  *sim.Engine
+	vms  []*VM
+	next int
+
+	// OnFailure is invoked when a VM fails (injected or random).
+	OnFailure func(vm *VM)
+
+	// MTBF enables random VM failures when positive: each running VM fails
+	// after an exponentially distributed interval with this mean.
+	MTBF time.Duration
+
+	provisionCalls int
+}
+
+// NewProvider returns a cloud bound to the simulation engine.
+func NewProvider(eng *sim.Engine) *Provider {
+	return &Provider{eng: eng}
+}
+
+// VMs returns all VMs ever provisioned (including stopped ones).
+func (p *Provider) VMs() []*VM { return p.vms }
+
+// Running returns the number of running VMs.
+func (p *Provider) Running() int {
+	n := 0
+	for _, vm := range p.vms {
+		if vm.state == VMRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// Provision requests n VMs of the SKU in the given vendor group. VMs boot
+// independently with jittered latency; onReady fires per VM as it becomes
+// Running. Returns the VM handles immediately (in Provisioning state).
+func (p *Provider) Provision(n int, sku SKU, group string, onReady func(*VM)) []*VM {
+	p.provisionCalls++
+	out := make([]*VM, 0, n)
+	for i := 0; i < n; i++ {
+		vm := &VM{
+			ID:          p.next,
+			Name:        fmt.Sprintf("vm-%s-%d", group, p.next),
+			SKU:         sku,
+			Group:       group,
+			state:       VMProvisioning,
+			provisioned: p.eng.Now(),
+			busy:        map[int]float64{},
+			provider:    p,
+		}
+		p.next++
+		p.vms = append(p.vms, vm)
+		out = append(out, vm)
+		boot := p.eng.Jitter(sku.BootBase, sku.BootJitter)
+		p.eng.After(boot, func() {
+			if vm.state != VMProvisioning {
+				return
+			}
+			vm.state = VMRunning
+			vm.started = p.eng.Now()
+			p.scheduleFailure(vm)
+			if onReady != nil {
+				onReady(vm)
+			}
+			vm.becameRunning()
+		})
+	}
+	return out
+}
+
+func (p *Provider) scheduleFailure(vm *VM) {
+	if p.MTBF <= 0 {
+		return
+	}
+	// Exponential inter-failure time with mean MTBF.
+	d := time.Duration(p.eng.Rand().ExpFloat64() * float64(p.MTBF))
+	p.eng.After(d, func() {
+		if vm.state != VMRunning {
+			return
+		}
+		p.Fail(vm)
+	})
+}
+
+// Fail marks a running VM as failed and notifies the orchestrator.
+func (p *Provider) Fail(vm *VM) {
+	if vm.state != VMRunning {
+		return
+	}
+	vm.runAccum += p.eng.Now().Sub(vm.started)
+	vm.state = VMFailed
+	if p.OnFailure != nil {
+		p.OnFailure(vm)
+	}
+}
+
+// Reboot returns a failed VM to service after its boot latency; onReady
+// fires when it is Running again.
+func (p *Provider) Reboot(vm *VM, onReady func(*VM)) {
+	if vm.state != VMFailed {
+		return
+	}
+	vm.state = VMProvisioning
+	boot := p.eng.Jitter(vm.SKU.BootBase, vm.SKU.BootJitter)
+	p.eng.After(boot, func() {
+		if vm.state != VMProvisioning {
+			return
+		}
+		vm.state = VMRunning
+		vm.started = p.eng.Now()
+		p.scheduleFailure(vm)
+		if onReady != nil {
+			onReady(vm)
+		}
+		vm.becameRunning()
+	})
+}
+
+// Deprovision stops and releases a VM (the paper's Destroy API path).
+func (p *Provider) Deprovision(vm *VM) {
+	switch vm.state {
+	case VMRunning:
+		vm.runAccum += p.eng.Now().Sub(vm.started)
+	case VMStopped:
+		return
+	}
+	vm.state = VMStopped
+	vm.stopped = p.eng.Now()
+}
+
+// CostUSD returns the accumulated cost of all VMs: running time (plus time
+// still accruing) priced per hour.
+func (p *Provider) CostUSD() float64 {
+	var total float64
+	for _, vm := range p.vms {
+		total += vm.Uptime().Hours() * vm.SKU.PricePerHour
+	}
+	return total
+}
+
+// HourlyCostUSD returns the burn rate of currently running VMs.
+func (p *Provider) HourlyCostUSD() float64 {
+	var total float64
+	for _, vm := range p.vms {
+		if vm.state == VMRunning {
+			total += vm.SKU.PricePerHour
+		}
+	}
+	return total
+}
+
+// UtilizationP95 returns the 95th-percentile per-VM CPU utilization for the
+// given minute across running VMs — the quantity Figure 9 plots.
+func (p *Provider) UtilizationP95(minute int) float64 {
+	var us []float64
+	for _, vm := range p.vms {
+		if vm.state != VMStopped {
+			us = append(us, vm.Utilization(minute))
+		}
+	}
+	if len(us) == 0 {
+		return 0
+	}
+	// Insertion sort: VM counts are modest.
+	for i := 1; i < len(us); i++ {
+		for j := i; j > 0 && us[j] < us[j-1]; j-- {
+			us[j], us[j-1] = us[j-1], us[j]
+		}
+	}
+	idx := (len(us)*95 + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return us[idx]
+}

@@ -1,0 +1,779 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"crystalnet/internal/boundary"
+	"crystalnet/internal/cloud"
+	"crystalnet/internal/config"
+	"crystalnet/internal/dataplane"
+	"crystalnet/internal/firmware"
+	"crystalnet/internal/mgmt"
+	"crystalnet/internal/phynet"
+	"crystalnet/internal/rib"
+	"crystalnet/internal/sim"
+	"crystalnet/internal/speaker"
+	"crystalnet/internal/telemetry"
+	"crystalnet/internal/topo"
+)
+
+// Per-VM Clear cost model (§8.2: clear latency under 2 minutes).
+const (
+	clearFixed        = 45 * time.Second
+	clearJitter       = 30 * time.Second
+	clearWorkPerBox   = 2.0 // core-seconds per container
+	strawmanExtra     = 15 * time.Second
+	recoverWorkPerBox = 5.0 // core-seconds to reset one device's plumbing
+)
+
+// fanoutHost names the on-premise fanout server hosting real-hardware
+// attachments (§4.1).
+const fanoutHost = "hw-fanout"
+
+// linkKey identifies a topology link by its interface full names.
+type linkKey struct{ a, b string }
+
+func keyFor(a, b *topo.Interface) linkKey {
+	x, y := a.FullName(), b.FullName()
+	if x > y {
+		x, y = y, x
+	}
+	return linkKey{x, y}
+}
+
+// Emulation is one mocked-up network.
+type Emulation struct {
+	orch *Orchestrator
+	prep *Preparation
+
+	Fabric     *phynet.Fabric
+	Devices    map[string]*firmware.Device
+	Speakers   map[string]*speaker.Speaker
+	Mgmt       *mgmt.Plane
+	Injector   *telemetry.Injector
+	containers map[string]*phynet.Container
+	vmOf       map[string]*cloud.VM
+	vlinks     map[linkKey]*phynet.VirtualLink
+
+	// Timeline (§8.1 metrics).
+	MockupStart    sim.Time
+	NetworkReadyAt sim.Time
+	ClearedAt      sim.Time
+
+	// Health monitoring state (§6.2).
+	Alerts     []string
+	recoveries []time.Duration
+	healthTick *sim.Timer
+	cleared    bool
+
+	vmsPending    int
+	buildsPending int
+}
+
+// Mockup executes the paper's Mockup API on a preparation: PhyNet build,
+// management plane, firmware boot and speaker injection, all scheduled on
+// the simulation clock. Unsafe boundaries are refused unless force is set.
+// Run the engine (em.RunUntilConverged) to drive it to route-ready.
+func (o *Orchestrator) Mockup(prep *Preparation, force bool) (*Emulation, error) {
+	if prep.SafetyErr != nil && !force {
+		return nil, fmt.Errorf("core: refusing unsafe boundary: %w", prep.SafetyErr)
+	}
+	em := &Emulation{
+		orch: o, prep: prep,
+		Fabric:      phynet.NewFabric(o.Eng, o.opts.Backend),
+		Devices:     map[string]*firmware.Device{},
+		Speakers:    map[string]*speaker.Speaker{},
+		Mgmt:        mgmt.NewPlane(),
+		Injector:    telemetry.NewInjector(o.Eng),
+		containers:  map[string]*phynet.Container{},
+		vmOf:        map[string]*cloud.VM{},
+		vlinks:      map[linkKey]*phynet.VirtualLink{},
+		MockupStart: o.Eng.Now(),
+	}
+	for i, vm := range prep.VMs() {
+		h := em.Fabric.AddHost(vm.Name)
+		if o.opts.Clouds > 1 {
+			h.Region = fmt.Sprintf("cloud-%d", i%o.opts.Clouds)
+		}
+	}
+	if len(prep.hardware) > 0 {
+		// The on-premise fanout server joining real switches to the overlay
+		// across the Internet (§4.1).
+		em.Fabric.AddHost(fanoutHost).Remote = true
+	}
+
+	// Wait for every VM, then build.
+	vms := prep.VMs()
+	em.vmsPending = len(vms)
+	for _, vm := range vms {
+		vm := vm
+		vm.WhenRunning(func() {
+			em.vmsPending--
+			if em.vmsPending == 0 {
+				em.build()
+			}
+		})
+	}
+	o.Cloud.OnFailure = em.onVMFailure
+	return em, nil
+}
+
+// StartHealthMonitor arms the §6.2 health/auto-recovery daemon with the
+// configured interval. Call after initial convergence: the periodic tick
+// keeps the event queue alive, so drive the engine with RunFor/RunUntil
+// from here on.
+func (em *Emulation) StartHealthMonitor() {
+	if em.orch.opts.HealthInterval > 0 && em.healthTick == nil {
+		em.scheduleHealthCheck()
+	}
+}
+
+// build creates every PhyNet container, interface and virtual link, charges
+// the per-VM setup work, and boots firmware when each VM's setup drains —
+// the aggressively batched, parallel-per-VM mockup of §6.2.
+func (em *Emulation) build() {
+	n := em.prep.Plan.Network
+	names := em.allNames()
+
+	for _, name := range names {
+		var host *phynet.Host
+		if em.prep.hardware[name] {
+			host = em.Fabric.Host(fanoutHost)
+		} else {
+			asg := em.prep.assignments[name]
+			vm := em.prep.groupVMs[asg.group][asg.index]
+			em.vmOf[name] = vm
+			host = em.Fabric.Host(vm.Name)
+		}
+		c := host.AddContainer(name)
+		em.containers[name] = c
+		d := n.MustDevice(name)
+		for _, intf := range d.Interfaces {
+			c.AddIface(intf.Name, intf.MAC)
+		}
+	}
+	// Links between two mocked-up devices.
+	for _, l := range n.Links {
+		ca, cb := em.containers[l.A.Device.Name], em.containers[l.B.Device.Name]
+		if ca == nil || cb == nil {
+			continue
+		}
+		vl := em.Fabric.Connect(ca.Iface(l.A.Name), cb.Iface(l.B.Name))
+		em.vlinks[keyFor(l.A, l.B)] = vl
+	}
+
+	// Charge each VM its PhyNet setup work; the slowest VM defines
+	// network-ready.
+	em.buildsPending = 0
+	charged := map[*cloud.VM]bool{}
+	for _, vm := range em.prep.VMs() {
+		if charged[vm] {
+			continue
+		}
+		charged[vm] = true
+		host := em.Fabric.Host(vm.Name)
+		em.buildsPending++
+		vm.Submit(host.SetupCost(), func() {
+			em.buildsPending--
+			if em.buildsPending == 0 {
+				em.networkReady()
+			}
+		})
+	}
+}
+
+// networkReady records the milestone and boots all firmware (§8.1: route-
+// ready latency starts here).
+func (em *Emulation) networkReady() {
+	o := em.orch
+	em.NetworkReadyAt = o.Eng.Now()
+	n := em.prep.Plan.Network
+
+	for _, name := range em.allNames() {
+		cfg := em.prep.Configs[name]
+		img := em.prep.Images[name]
+		var opts []firmware.Option
+		hostName := fanoutHost
+		if vm := em.vmOf[name]; vm != nil {
+			opts = append(opts, firmware.WithVM(vm))
+			hostName = vm.Name
+		}
+		dev := firmware.New(name, img, cfg, o.Eng, em.Fabric, em.containers[name], opts...)
+		em.Devices[name] = dev
+		em.Mgmt.Register(dev, n.MustDevice(name).MgmtIP, o.opts.Credential, hostName)
+	}
+	// Boot emulated devices.
+	for _, name := range append(append([]string{}, em.prep.Plan.Internal...), em.prep.Plan.Boundary...) {
+		em.Devices[name].Boot(nil)
+	}
+	// Boot speakers and inject recorded routes.
+	for _, name := range em.prep.Plan.Speakers {
+		sp, err := speaker.New(em.Devices[name], em.prep.Routes[name])
+		if err != nil {
+			em.alert("speaker %s: %v", name, err)
+			continue
+		}
+		em.Speakers[name] = sp
+		sp.Start(nil)
+	}
+}
+
+func (em *Emulation) allNames() []string {
+	names := append(append([]string{}, em.prep.Plan.Internal...), em.prep.Plan.Boundary...)
+	names = append(names, em.prep.Plan.Speakers...)
+	sort.Strings(names)
+	return names
+}
+
+// RunUntilConverged drives the engine until the event queue drains (the
+// emulation is stable) and returns the §8.1 latency metrics.
+func (em *Emulation) RunUntilConverged(maxEvents uint64) (Metrics, error) {
+	if maxEvents == 0 {
+		maxEvents = 500_000_000
+	}
+	if _, err := em.orch.Eng.Run(maxEvents); err != nil {
+		return Metrics{}, err
+	}
+	return em.Metrics(), nil
+}
+
+// Metrics reports the emulation timeline so far.
+type Metrics struct {
+	NetworkReady time.Duration // Mockup start -> all virtual links up
+	RouteReady   time.Duration // network-ready -> last FIB change
+	Mockup       time.Duration // sum (the paper's mockup latency)
+}
+
+// Metrics computes the timeline from device state; call after the engine
+// has quiesced.
+func (em *Emulation) Metrics() Metrics {
+	var lastRoute sim.Time
+	for _, d := range em.Devices {
+		if d.LastFIBChange > lastRoute {
+			lastRoute = d.LastFIBChange
+		}
+	}
+	m := Metrics{}
+	if em.NetworkReadyAt > em.MockupStart {
+		m.NetworkReady = em.NetworkReadyAt.Sub(em.MockupStart)
+	}
+	if lastRoute > em.NetworkReadyAt {
+		m.RouteReady = lastRoute.Sub(em.NetworkReadyAt)
+	}
+	m.Mockup = m.NetworkReady + m.RouteReady
+	return m
+}
+
+// ---- Control APIs (Table 2) ----
+
+// ReloadDevice reboots a device with new software and/or configuration.
+// Under the two-layer design it takes firmware.ReloadDuration; the §8.3
+// strawman additionally recreates the PhyNet interfaces.
+func (em *Emulation) ReloadDevice(name string, newCfg *config.DeviceConfig, onReady func()) error {
+	dev := em.Devices[name]
+	if dev == nil {
+		return fmt.Errorf("core: no device %q", name)
+	}
+	if !em.orch.opts.StrawmanReload || em.prep.hardware[name] {
+		// Real switches always keep their physical ports; the strawman
+		// ablation only applies to virtualized devices.
+		dev.Reload(newCfg, onReady)
+		return nil
+	}
+	// Strawman: tear down and rebuild interfaces and links too.
+	dev.Stop("strawman reload")
+	vm := em.vmOf[name]
+	host := em.Fabric.Host(vm.Name)
+	host.RemoveContainer(name)
+	em.orch.Eng.After(firmware.ReloadDuration+strawmanExtra, func() {
+		em.rebuildContainer(name)
+		if newCfg != nil {
+			dev.Reload(newCfg, onReady)
+		} else {
+			dev.Reload(nil, onReady)
+		}
+	})
+	return nil
+}
+
+// rebuildContainer recreates a device's namespace, interfaces and link
+// attachments (strawman reload and VM recovery both need it).
+func (em *Emulation) rebuildContainer(name string) {
+	n := em.prep.Plan.Network
+	vm := em.vmOf[name]
+	host := em.Fabric.Host(vm.Name)
+	host.RemoveContainer(name)
+	c := host.AddContainer(name)
+	em.containers[name] = c
+	d := n.MustDevice(name)
+	for _, intf := range d.Interfaces {
+		c.AddIface(intf.Name, intf.MAC)
+	}
+	// Reconnect links to peers that are still up.
+	for _, l := range n.Links {
+		var local, remote *topo.Interface
+		switch {
+		case l.A.Device.Name == name:
+			local, remote = l.A, l.B
+		case l.B.Device.Name == name:
+			local, remote = l.B, l.A
+		default:
+			continue
+		}
+		rc := em.containers[remote.Device.Name]
+		if rc == nil {
+			continue
+		}
+		vl := em.Fabric.Connect(c.Iface(local.Name), em.freshRemoteIface(rc, remote.Name))
+		em.vlinks[keyFor(l.A, l.B)] = vl
+		// Tell the remote firmware its link flapped.
+		if rdev := em.Devices[remote.Device.Name]; rdev != nil {
+			rdev.LinkDown(remote.Name)
+			rdev.LinkUp(remote.Name)
+		}
+	}
+	em.attachDevice(name)
+}
+
+// freshRemoteIface returns the remote interface, replacing it if it is
+// still attached to a dead link (RemoveContainer downed it but the object
+// remains plugged).
+func (em *Emulation) freshRemoteIface(rc *phynet.Container, ifName string) *phynet.VIface {
+	ri := rc.Iface(ifName)
+	if ri.Link() == nil {
+		return ri
+	}
+	// Replace with a new interface object carrying the same identity: real
+	// PhyNet would reuse the veth; our structural model swaps the object.
+	mac := ri.MAC
+	rc.RemoveIface(ifName)
+	return rc.AddIface(ifName, mac)
+}
+
+// attachDevice re-binds a device to its (re)built container. Stopped or
+// crashed firmware just updates the reference; its next boot attaches the
+// frame handler there.
+func (em *Emulation) attachDevice(name string) {
+	if dev := em.Devices[name]; dev != nil {
+		dev.Reattach(em.containers[name])
+	}
+}
+
+// AttachNewDevice incrementally adds a device to a RUNNING emulation (§3.2:
+// "quick incremental changes to the emulation") — the new-rack-deployment
+// rehearsal. The device must already exist in the (mutated) topology with
+// its links wired to emulated devices. Its container is placed on the
+// least-loaded VM of its vendor group (spawning a fresh VM if the vendor is
+// new), links are built, and the firmware boots. Neighbors learn the new
+// sessions when the operator reloads them with updated configurations, as
+// in production.
+func (em *Emulation) AttachNewDevice(name string, img firmware.VendorImage, cfg *config.DeviceConfig, onReady func()) error {
+	n := em.prep.Plan.Network
+	d := n.Device(name)
+	if d == nil {
+		return fmt.Errorf("core: device %q not in topology", name)
+	}
+	if em.Devices[name] != nil {
+		return fmt.Errorf("core: device %q already emulated", name)
+	}
+	if cfg == nil {
+		cfg = config.GenerateDevice(d)
+	}
+	cfg.Credential = em.orch.opts.Credential
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	// Place on the emptiest VM of the vendor group, or spawn one.
+	vms := em.prep.groupVMs[img.Name]
+	var vm *cloud.VM
+	if len(vms) > 0 {
+		counts := map[*cloud.VM]int{}
+		for _, v := range em.vmOf {
+			counts[v]++
+		}
+		for _, cand := range vms {
+			if vm == nil || counts[cand] < counts[vm] {
+				vm = cand
+			}
+		}
+	}
+	em.prep.Configs[name] = cfg
+	em.prep.Images[name] = img
+	em.prep.Plan.Emulated[name] = true
+	attach := func(vm *cloud.VM) {
+		em.vmOf[name] = vm
+		host := em.Fabric.Host(vm.Name)
+		c := host.AddContainer(name)
+		em.containers[name] = c
+		for _, intf := range d.Interfaces {
+			c.AddIface(intf.Name, intf.MAC)
+		}
+		for _, l := range n.Links {
+			if l.A.Device != d && l.B.Device != d {
+				continue
+			}
+			local, remote := l.A, l.B
+			if l.B.Device == d {
+				local, remote = l.B, l.A
+			}
+			rc := em.containers[remote.Device.Name]
+			if rc == nil {
+				continue // peer not emulated
+			}
+			if rc.Iface(remote.Name) == nil {
+				// The peering is new on the remote side too: the PhyNet
+				// layer hot-adds the interface (its firmware picks it up on
+				// the operator's reload).
+				rc.AddIface(remote.Name, remote.MAC)
+			}
+			vl := em.Fabric.Connect(c.Iface(local.Name), em.freshRemoteIface(rc, remote.Name))
+			em.vlinks[keyFor(l.A, l.B)] = vl
+		}
+		dev := firmware.New(name, img, cfg, em.orch.Eng, em.Fabric, c, firmware.WithVM(vm))
+		em.Devices[name] = dev
+		em.Mgmt.Register(dev, d.MgmtIP, em.orch.opts.Credential, vm.Name)
+		vm.Submit(host.SetupCost()/10, func() { dev.Boot(onReady) })
+		// Classify: the plan gains the device as internal or boundary.
+		isBoundary := false
+		for _, nb := range d.Neighbors() {
+			if !em.prep.Plan.Emulated[nb.Name] {
+				isBoundary = true
+			}
+		}
+		if isBoundary {
+			em.prep.Plan.Boundary = append(em.prep.Plan.Boundary, name)
+		} else {
+			em.prep.Plan.Internal = append(em.prep.Plan.Internal, name)
+		}
+	}
+	if vm != nil {
+		attach(vm)
+		return nil
+	}
+	sku := cloud.SKUStandard
+	if img.Kind == firmware.VMImage {
+		sku = cloud.SKUNested
+	}
+	fresh := em.orch.Cloud.Provision(1, sku, img.Name, nil)
+	em.prep.groupVMs[img.Name] = fresh
+	fresh[0].WhenRunning(func() { attach(fresh[0]) })
+	return nil
+}
+
+// SetLink raises or cuts the link between two topology interfaces and
+// notifies both firmwares (the Connect/Disconnect APIs).
+func (em *Emulation) SetLink(devA, ifA, devB, ifB string, up bool) error {
+	n := em.prep.Plan.Network
+	da, db := n.Device(devA), n.Device(devB)
+	if da == nil || db == nil {
+		return fmt.Errorf("core: unknown device")
+	}
+	ia, ib := da.Intf(ifA), db.Intf(ifB)
+	if ia == nil || ib == nil {
+		return fmt.Errorf("core: unknown interface")
+	}
+	vl := em.vlinks[keyFor(ia, ib)]
+	if vl == nil {
+		return fmt.Errorf("core: no emulated link %s:%s <-> %s:%s", devA, ifA, devB, ifB)
+	}
+	em.Fabric.SetLinkState(vl, up)
+	for _, end := range []struct {
+		dev, ifname string
+	}{{devA, ifA}, {devB, ifB}} {
+		if d := em.Devices[end.dev]; d != nil {
+			if up {
+				d.LinkUp(end.ifname)
+			} else {
+				d.LinkDown(end.ifname)
+			}
+		}
+	}
+	return nil
+}
+
+// InjectPackets schedules telemetry probes from a device (Table 2).
+func (em *Emulation) InjectPackets(from string, meta dataplane.PacketMeta, count int, interval time.Duration) (uint64, error) {
+	dev := em.Devices[from]
+	if dev == nil {
+		return 0, fmt.Errorf("core: no device %q", from)
+	}
+	return em.Injector.Inject(dev, meta, count, interval), nil
+}
+
+// ---- Monitor APIs (Table 2) ----
+
+// PullStates gathers every device's state summary.
+func (em *Emulation) PullStates() map[string]firmware.Stats {
+	out := map[string]firmware.Stats{}
+	for name, d := range em.Devices {
+		out[name] = d.PullStates()
+	}
+	return out
+}
+
+// PullFIBs snapshots every emulated device's forwarding table.
+func (em *Emulation) PullFIBs() map[string]rib.Snapshot {
+	out := map[string]rib.Snapshot{}
+	for name, d := range em.Devices {
+		if d.FIB() != nil {
+			out[name] = d.FIB().Snapshot()
+		}
+	}
+	return out
+}
+
+// PullConfig renders every device's active configuration in its vendor
+// dialect (for rollback backups).
+func (em *Emulation) PullConfig() map[string]string {
+	out := map[string]string{}
+	for name, d := range em.Devices {
+		c := d.Config()
+		out[name] = config.Render(c, config.Dialect{Vendor: c.Vendor, Version: c.Version})
+	}
+	return out
+}
+
+// PullPackets drains telemetry captures from all devices.
+func (em *Emulation) PullPackets() []firmware.CaptureRecord {
+	var devs []*firmware.Device
+	for _, name := range em.allNames() {
+		devs = append(devs, em.Devices[name])
+	}
+	return telemetry.Collect(devs)
+}
+
+// Login opens a management session to a device (the paper's Login helper /
+// IP access path).
+func (em *Emulation) Login(name string) (*mgmt.Session, error) {
+	return em.Mgmt.DialByName(name, em.orch.opts.Credential)
+}
+
+// List returns all emulated device names (the List helper).
+func (em *Emulation) List() []string { return em.allNames() }
+
+// State is a saved emulation snapshot (§3.2: "saving and restoring
+// emulation state"): rendered configurations plus forwarding tables. It is
+// the artifact a validation workflow saves before a risky step and diffs
+// against after, and what a rollback restores from.
+type State struct {
+	// Configs are the rendered per-device configurations.
+	Configs map[string]string
+	// FIBs are per-device forwarding-table snapshots.
+	FIBs map[string]rib.Snapshot
+	// TakenAt is the virtual time of the snapshot.
+	TakenAt sim.Time
+}
+
+// Save captures the emulation's current state.
+func (em *Emulation) Save() *State {
+	return &State{
+		Configs: em.PullConfig(),
+		FIBs:    em.PullFIBs(),
+		TakenAt: em.orch.Eng.Now(),
+	}
+}
+
+// DiffAgainst compares the emulation's current forwarding state to a saved
+// snapshot with the §9 ECMP-aware comparator, returning differences by
+// device. An empty map means the network forwards exactly as it did at the
+// snapshot — the "no change in network behaviour" check of §7 Case 2.
+func (em *Emulation) DiffAgainst(s *State) map[string][]rib.Diff {
+	out := map[string][]rib.Diff{}
+	cur := em.PullFIBs()
+	names := map[string]bool{}
+	for n := range cur {
+		names[n] = true
+	}
+	for n := range s.FIBs {
+		names[n] = true
+	}
+	for n := range names {
+		if d := rib.Compare(s.FIBs[n], cur[n], rib.ECMPAware); len(d) > 0 {
+			out[n] = d
+		}
+	}
+	return out
+}
+
+// RestoreConfigs rolls every device whose rendered configuration differs
+// from the snapshot back to it via Reload, returning the devices reloaded.
+func (em *Emulation) RestoreConfigs(s *State) ([]string, error) {
+	var reloaded []string
+	cur := em.PullConfig()
+	names := make([]string, 0, len(s.Configs))
+	for name := range s.Configs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if cur[name] == s.Configs[name] {
+			continue
+		}
+		dev := em.Devices[name]
+		if dev == nil {
+			continue
+		}
+		c := dev.Config()
+		parsed, err := config.Parse(s.Configs[name], config.Dialect{Vendor: c.Vendor, Version: c.Version})
+		if err != nil {
+			return reloaded, fmt.Errorf("core: restore %s: %w", name, err)
+		}
+		if err := em.ReloadDevice(name, parsed, nil); err != nil {
+			return reloaded, err
+		}
+		reloaded = append(reloaded, name)
+	}
+	return reloaded, nil
+}
+
+// Configs returns the active configurations by device name (shared, not
+// copied — callers must not mutate).
+func (em *Emulation) Configs() map[string]*config.DeviceConfig { return em.prep.Configs }
+
+// Network returns the emulated topology.
+func (em *Emulation) Network() *topo.Network { return em.prep.Plan.Network }
+
+// Plan returns the emulation's boundary plan.
+func (em *Emulation) Plan() *boundary.Plan { return em.prep.Plan }
+
+// ---- health monitor and recovery (§6.2) ----
+
+func (em *Emulation) alert(format string, args ...any) {
+	em.Alerts = append(em.Alerts, fmt.Sprintf("[%s] ", em.orch.Eng.Now())+fmt.Sprintf(format, args...))
+}
+
+func (em *Emulation) scheduleHealthCheck() {
+	em.healthTick = em.orch.Eng.After(em.orch.opts.HealthInterval, func() {
+		if em.cleared {
+			return
+		}
+		em.healthCheck()
+		em.scheduleHealthCheck()
+	})
+}
+
+// healthCheck verifies device liveness and link state; crashed firmware is
+// alerted and restarted.
+func (em *Emulation) healthCheck() {
+	for name, d := range em.Devices {
+		if d.State() == firmware.DeviceCrashed {
+			em.alert("device %s crashed; restarting", name)
+			d.Reload(nil, nil)
+		}
+	}
+	for k, vl := range em.vlinks {
+		if !vl.Up() {
+			em.alert("link %s <-> %s down", k.a, k.b)
+		}
+	}
+}
+
+// onVMFailure is the §6.2 auto-recovery path: reboot the VM, then reset its
+// devices and links (the 10-50 s phase measured in §8.3).
+func (em *Emulation) onVMFailure(vm *cloud.VM) {
+	if em.cleared {
+		return
+	}
+	em.alert("VM %s failed; rebooting", vm.Name)
+	var affected []string
+	for name, v := range em.vmOf {
+		if v == vm {
+			affected = append(affected, name)
+		}
+	}
+	sort.Strings(affected)
+	// The VM's devices are gone; their neighbors see links drop.
+	for _, name := range affected {
+		em.Devices[name].Crash("VM failure")
+		em.dropDeviceLinks(name)
+	}
+	em.orch.Cloud.Reboot(vm, func(vm *cloud.VM) {
+		start := em.orch.Eng.Now()
+		pending := len(affected)
+		for _, name := range affected {
+			name := name
+			vm.Submit(recoverWorkPerBox, func() {
+				em.rebuildContainer(name)
+				em.Devices[name].Boot(nil)
+				pending--
+				if pending == 0 {
+					em.recoveries = append(em.recoveries, em.orch.Eng.Now().Sub(start))
+					em.alert("VM %s recovered (%d devices reset in %s)",
+						vm.Name, len(affected), em.orch.Eng.Now().Sub(start))
+				}
+			})
+		}
+	})
+}
+
+// dropDeviceLinks cuts every emulated link touching the named device and
+// notifies surviving neighbors.
+func (em *Emulation) dropDeviceLinks(name string) {
+	n := em.prep.Plan.Network
+	for _, l := range n.Links {
+		var remote *topo.Interface
+		switch {
+		case l.A.Device.Name == name:
+			remote = l.B
+		case l.B.Device.Name == name:
+			remote = l.A
+		default:
+			continue
+		}
+		if vl := em.vlinks[keyFor(l.A, l.B)]; vl != nil {
+			em.Fabric.SetLinkState(vl, false)
+		}
+		if rdev := em.Devices[remote.Device.Name]; rdev != nil {
+			rdev.LinkDown(remote.Name)
+		}
+	}
+}
+
+// Recoveries returns measured VM-recovery durations (§8.3).
+func (em *Emulation) Recoveries() []time.Duration { return em.recoveries }
+
+// Clear stops all firmware and resets the VMs to a clean state (Table 2).
+// onDone fires when every VM has finished clearing; ClearedAt records the
+// completion time.
+func (em *Emulation) Clear(onDone func()) {
+	em.cleared = true
+	if em.healthTick != nil {
+		em.healthTick.Cancel()
+	}
+	for _, d := range em.Devices {
+		d.Stop("clear")
+	}
+	byVM := map[*cloud.VM]int{}
+	for name, vm := range em.vmOf {
+		byVM[vm]++
+		host := em.Fabric.Host(vm.Name)
+		host.RemoveContainer(name)
+	}
+	pending := 0
+	for vm, boxes := range byVM {
+		pending++
+		vm := vm
+		fixed := em.orch.Eng.Jitter(clearFixed, clearJitter)
+		work := clearWorkPerBox * float64(boxes)
+		em.orch.Eng.After(fixed, func() {
+			vm.Submit(work, func() {
+				pending--
+				if pending == 0 {
+					em.ClearedAt = em.orch.Eng.Now()
+					if onDone != nil {
+						onDone()
+					}
+				}
+			})
+		})
+	}
+	if pending == 0 {
+		em.ClearedAt = em.orch.Eng.Now()
+		if onDone != nil {
+			onDone()
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package dataplane implements the per-device forwarding engine: longest-
+// prefix-match over the FIB, 5-tuple ECMP hashing, ACL evaluation and TTL
+// handling. CrystalNet uses it to answer "where would this packet go" for
+// the InjectPackets/PullPackets telemetry APIs (§3.3) — the paper
+// explicitly does not model data-plane performance, only forwarding
+// behaviour, and neither does this engine.
+package dataplane
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"crystalnet/internal/netpkt"
+	"crystalnet/internal/rib"
+)
+
+// ACLAction is an ACL rule verdict.
+type ACLAction uint8
+
+// ACL actions. Deny is the zero value so that an ACL's unset DefaultAction
+// is the conventional implicit deny of production routers (a nil *ACL still
+// permits — no ACL bound).
+const (
+	ACLDeny ACLAction = iota
+	ACLPermit
+)
+
+// ACLRule matches packets by 5-tuple fields; nil/zero fields are wildcards.
+type ACLRule struct {
+	Action   ACLAction
+	Src, Dst *netpkt.Prefix
+	Proto    uint8 // 0 = any
+	DstPort  uint16
+	SrcPort  uint16
+}
+
+// Matches reports whether the rule matches the packet.
+func (r *ACLRule) Matches(m *PacketMeta) bool {
+	if r.Src != nil && !r.Src.Contains(m.Src) {
+		return false
+	}
+	if r.Dst != nil && !r.Dst.Contains(m.Dst) {
+		return false
+	}
+	if r.Proto != 0 && r.Proto != m.Proto {
+		return false
+	}
+	if r.DstPort != 0 && r.DstPort != m.DstPort {
+		return false
+	}
+	if r.SrcPort != 0 && r.SrcPort != m.SrcPort {
+		return false
+	}
+	return true
+}
+
+// ACL is an ordered access control list. The conventional implicit action
+// is deny, matching production router semantics.
+type ACL struct {
+	Name          string
+	Rules         []ACLRule
+	DefaultAction ACLAction
+}
+
+// Eval returns the verdict for the packet.
+func (a *ACL) Eval(m *PacketMeta) ACLAction {
+	if a == nil {
+		return ACLPermit
+	}
+	for i := range a.Rules {
+		if a.Rules[i].Matches(m) {
+			return a.Rules[i].Action
+		}
+	}
+	return a.DefaultAction
+}
+
+// PacketMeta is the 5-tuple plus TTL used for forwarding decisions.
+type PacketMeta struct {
+	Src, Dst         netpkt.IP
+	Proto            uint8
+	SrcPort, DstPort uint16
+	TTL              uint8
+}
+
+// String renders the 5-tuple.
+func (m *PacketMeta) String() string {
+	return fmt.Sprintf("%s:%d > %s:%d proto=%d ttl=%d", m.Src, m.SrcPort, m.Dst, m.DstPort, m.Proto, m.TTL)
+}
+
+// Verdict classifies the outcome of a forwarding decision.
+type Verdict uint8
+
+// Forwarding outcomes.
+const (
+	VerdictForward Verdict = iota
+	VerdictLocal           // destination is one of the device's own addresses
+	VerdictNoRoute
+	VerdictACLDenied
+	VerdictTTLExpired
+)
+
+var verdictNames = [...]string{"forward", "local", "no-route", "acl-denied", "ttl-expired"}
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	if int(v) < len(verdictNames) {
+		return verdictNames[v]
+	}
+	return "unknown"
+}
+
+// Decision is the result of one hop's forwarding evaluation.
+type Decision struct {
+	Verdict Verdict
+	// NextHop and Egress are set for VerdictForward.
+	NextHop netpkt.IP
+	Egress  string
+	// Entry is the FIB entry that matched, if any.
+	Entry *rib.Entry
+	// ACL names the ACL responsible for a deny.
+	ACL string
+}
+
+// Forwarder is the forwarding engine of one device.
+type Forwarder struct {
+	fib      *rib.FIB
+	local    map[netpkt.IP]bool // device-owned addresses (loopback, interfaces)
+	inACL    map[string]*ACL    // per ingress interface
+	outACL   map[string]*ACL    // per egress interface
+	ecmpSeed uint32
+}
+
+// NewForwarder wraps a FIB. The seed perturbs ECMP hashing per device, as
+// hardware hash seeds do.
+func NewForwarder(fib *rib.FIB, seed uint32) *Forwarder {
+	return &Forwarder{
+		fib:      fib,
+		local:    map[netpkt.IP]bool{},
+		inACL:    map[string]*ACL{},
+		outACL:   map[string]*ACL{},
+		ecmpSeed: seed,
+	}
+}
+
+// FIB returns the underlying forwarding table.
+func (f *Forwarder) FIB() *rib.FIB { return f.fib }
+
+// AddLocal registers a device-owned address.
+func (f *Forwarder) AddLocal(ip netpkt.IP) { f.local[ip] = true }
+
+// SetInACL binds an ACL to an ingress interface (nil clears).
+func (f *Forwarder) SetInACL(iface string, a *ACL) {
+	if a == nil {
+		delete(f.inACL, iface)
+		return
+	}
+	f.inACL[iface] = a
+}
+
+// SetOutACL binds an ACL to an egress interface (nil clears).
+func (f *Forwarder) SetOutACL(iface string, a *ACL) {
+	if a == nil {
+		delete(f.outACL, iface)
+		return
+	}
+	f.outACL[iface] = a
+}
+
+// Forward evaluates one packet arriving on ingress (empty string for
+// locally injected packets). It does not mutate m; the caller decrements
+// TTL when actually moving the packet.
+func (f *Forwarder) Forward(ingress string, m *PacketMeta) Decision {
+	if ingress != "" {
+		if acl := f.inACL[ingress]; acl.Eval(m) == ACLDeny {
+			return Decision{Verdict: VerdictACLDenied, ACL: acl.Name}
+		}
+	}
+	if f.local[m.Dst] {
+		return Decision{Verdict: VerdictLocal}
+	}
+	if m.TTL <= 1 {
+		return Decision{Verdict: VerdictTTLExpired}
+	}
+	entry, ok := f.fib.Lookup(m.Dst)
+	if !ok || len(entry.NextHops) == 0 {
+		return Decision{Verdict: VerdictNoRoute}
+	}
+	nh := entry.NextHops[f.ecmpIndex(m, len(entry.NextHops))]
+	if acl := f.outACL[nh.Interface]; acl.Eval(m) == ACLDeny {
+		return Decision{Verdict: VerdictACLDenied, ACL: acl.Name, Entry: entry}
+	}
+	return Decision{Verdict: VerdictForward, NextHop: nh.IP, Egress: nh.Interface, Entry: entry}
+}
+
+// ecmpIndex hashes the 5-tuple to pick one of n next hops. The hash is
+// deterministic per (device seed, flow), so a flow always takes one path —
+// matching real ECMP.
+func (f *Forwarder) ecmpIndex(m *PacketMeta, n int) int {
+	if n == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	var b [17]byte
+	put32 := func(off int, v uint32) {
+		b[off] = byte(v >> 24)
+		b[off+1] = byte(v >> 16)
+		b[off+2] = byte(v >> 8)
+		b[off+3] = byte(v)
+	}
+	put32(0, uint32(m.Src))
+	put32(4, uint32(m.Dst))
+	put32(8, f.ecmpSeed)
+	b[12] = m.Proto
+	b[13] = byte(m.SrcPort >> 8)
+	b[14] = byte(m.SrcPort)
+	b[15] = byte(m.DstPort >> 8)
+	b[16] = byte(m.DstPort)
+	h.Write(b[:])
+	return int(h.Sum32() % uint32(n))
+}

@@ -1,0 +1,90 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2, §5, §8): the incident-coverage matrix (Table 1), the
+// vendor-aggregation imbalance (Figure 1), boundary safety (Figure 7),
+// network scales (Table 3), mockup/clear latencies (Figure 8), CPU
+// utilization (Figure 9), the reload/recovery measurements (§8.3) and the
+// safe-boundary cost reductions (Table 4).
+//
+// Each experiment returns structured results; Format* helpers render them
+// as the paper formats them. bench_test.go and cmd/crystalbench are thin
+// drivers over this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// check renders a coverage cell.
+func check(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no "
+}
+
+// percentile returns the nearest-rank percentile of a duration sample.
+func percentile(ds []time.Duration, p int) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return s[idx]
+}
+
+// Percentiles bundles the p10/p50/p90 triple Figure 8 plots.
+type Percentiles struct {
+	P10, P50, P90 time.Duration
+}
+
+func percentiles(ds []time.Duration) Percentiles {
+	return Percentiles{percentile(ds, 10), percentile(ds, 50), percentile(ds, 90)}
+}
+
+// String renders "p50 (p10-p90)" rounded to seconds.
+func (p Percentiles) String() string {
+	r := func(d time.Duration) string { return d.Round(time.Second).String() }
+	return fmt.Sprintf("%s (%s-%s)", r(p.P50), r(p.P10), r(p.P90))
+}
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"crystalnet/internal/firmware"
+)
+
+func TestTable1CoverageMatrix(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[string][2]bool{ // root cause -> (crystalnet, verification)
+		"Software bugs":     {true, false},
+		"Config. bugs":      {true, true},
+		"Human errors":      {true, false},
+		"Hardware failures": {false, false},
+		"Unidentified":      {false, false},
+	}
+	for _, r := range rows {
+		w, ok := want[r.RootCause]
+		if !ok {
+			t.Fatalf("unexpected row %q", r.RootCause)
+		}
+		if r.CrystalNet != w[0] || r.Verification != w[1] {
+			t.Fatalf("%s: coverage = %v/%v, want %v/%v (%s)",
+				r.RootCause, r.CrystalNet, r.Verification, w[0], w[1], r.Evidence)
+		}
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "Software bugs") || !strings.Contains(out, "CrystalNet") {
+		t.Fatalf("format broken:\n%s", out)
+	}
+}
+
+func TestFigure1ImbalanceShape(t *testing.T) {
+	r := Figure1(120)
+	// The paper's incident: R8 pins essentially all P3 traffic to R7.
+	if r.R7Share < 0.95 {
+		t.Fatalf("R7 share = %.2f, want ~1.0 (imbalance)", r.R7Share)
+	}
+	if r.R6Share > 0.05 {
+		t.Fatalf("R6 share = %.2f, want ~0", r.R6Share)
+	}
+	if r.R8BestPath != "7" {
+		t.Fatalf("R8 best path = %q, want R7's bare {7}", r.R8BestPath)
+	}
+	if !strings.Contains(FormatFigure1(r), "R7") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFigure7Safety(t *testing.T) {
+	rows := Figure7()
+	if len(rows) != 3 {
+		t.Fatal("want 3 cases")
+	}
+	if rows[0].LemmaSafe || len(rows[0].Counterexample) == 0 {
+		t.Fatalf("7a must be unsafe with a counterexample: %+v", rows[0])
+	}
+	if !rows[1].LemmaSafe || !rows[1].Prop53OK {
+		t.Fatalf("7b must be safe: %+v", rows[1])
+	}
+	if !rows[2].LemmaSafe || !rows[2].Prop53OK {
+		t.Fatalf("7c must be safe: %+v", rows[2])
+	}
+	if !strings.Contains(FormatFigure7(rows), "Lemma5.1") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 3 {
+		t.Fatal("want 3 fabrics")
+	}
+	ldc := rows[2]
+	if ldc.Network != "L-DC" || ldc.ToRs != 3600 || ldc.Spines != 128 || ldc.Borders != 8 {
+		t.Fatalf("L-DC shape: %+v", ldc)
+	}
+	if ldc.Routes < 10_000_000 {
+		t.Fatalf("L-DC routes = %d, want O(20M)", ldc.Routes)
+	}
+	if rows[0].Routes >= rows[1].Routes || rows[1].Routes >= rows[2].Routes {
+		t.Fatal("route counts must grow with scale")
+	}
+	if !strings.Contains(FormatTable3(rows), "#Routes") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestTable4BoundaryScales(t *testing.T) {
+	rows := Table4()
+	pod := rows[0]
+	if pod.Borders != 4 || pod.Spines != 64 || pod.Leaves != 4 || pod.ToRs != 16 {
+		t.Fatalf("one-pod row: %+v", pod)
+	}
+	if pod.Proportion > 0.02 {
+		t.Fatalf("one-pod proportion %.3f > 2%%", pod.Proportion)
+	}
+	if pod.CostReduction < 0.90 {
+		t.Fatalf("cost reduction %.2f < 90%%", pod.CostReduction)
+	}
+	spines := rows[1]
+	if spines.Spines != 128 || spines.Borders != 8 || spines.ToRs != 0 {
+		t.Fatalf("all-spines row: %+v", spines)
+	}
+	if spines.Proportion > 0.03 {
+		t.Fatalf("all-spines proportion %.3f > 3%%", spines.Proportion)
+	}
+	if !strings.Contains(FormatTable4(rows), "One Pod") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFigure8SmokeSDC(t *testing.T) {
+	points := Figure8(Figure8Config{Reps: 2, SkipMDC: true, SkipLDC: true})
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	small, large := points[0], points[1]
+	if small.VMs >= large.VMs {
+		t.Fatalf("VM budgets not increasing: %d vs %d", small.VMs, large.VMs)
+	}
+	for _, p := range points {
+		// Shape checks from the paper: network-ready is small (<2 min) and
+		// a small fraction of mockup; route-ready dominates; clear < 2 min.
+		if p.NetworkReady.P50 <= 0 || p.NetworkReady.P50 > 2*time.Minute {
+			t.Fatalf("%s/%d network-ready = %v", p.DC, p.VMs, p.NetworkReady)
+		}
+		if p.RouteReady.P50 < p.NetworkReady.P50 {
+			t.Fatalf("%s/%d route-ready %v should dominate network-ready %v",
+				p.DC, p.VMs, p.RouteReady.P50, p.NetworkReady.P50)
+		}
+		if p.Mockup.P50 > 50*time.Minute {
+			t.Fatalf("mockup = %v, paper says tens of minutes max", p.Mockup.P50)
+		}
+		if p.Clear.P50 <= 0 || p.Clear.P50 > 3*time.Minute {
+			t.Fatalf("clear = %v", p.Clear.P50)
+		}
+	}
+	// More VMs converge no slower (CPU contention eases).
+	if large.Mockup.P50 > small.Mockup.P50+5*time.Minute {
+		t.Fatalf("more VMs slower: %v vs %v", large.Mockup.P50, small.Mockup.P50)
+	}
+	if !strings.Contains(FormatFigure8(points), "route-ready") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	series := Figure9(8, true)
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	s := series[0]
+	if len(s.MinutesP95) < 5 {
+		t.Fatalf("curve too short: %d minutes", len(s.MinutesP95))
+	}
+	// Figure 9 shape: a busy plumbing+firmware-init phase early (after VM
+	// provisioning), then a quiet convergence tail.
+	peak, peakAt := 0.0, 0
+	for m, u := range s.MinutesP95 {
+		if u > peak {
+			peak, peakAt = u, m
+		}
+	}
+	if peak < 0.8 {
+		t.Fatalf("no busy phase: peak p95 = %.2f", peak)
+	}
+	if peakAt > 2*len(s.MinutesP95)/3 {
+		t.Fatalf("peak at minute %d of %d — busy phase should come early", peakAt, len(s.MinutesP95))
+	}
+	tail := s.MinutesP95[len(s.MinutesP95)-1]
+	if tail > peak/2 {
+		t.Fatalf("tail %.2f not quiet vs peak %.2f", tail, peak)
+	}
+	if !strings.Contains(FormatFigure9(series), "VMs") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestSec83Measurements(t *testing.T) {
+	r := Sec83()
+	if r.TwoLayerReload != firmware.ReloadDuration {
+		t.Fatalf("two-layer reload = %v, want %v", r.TwoLayerReload, firmware.ReloadDuration)
+	}
+	if r.StrawmanReload < r.TwoLayerReload+10*time.Second {
+		t.Fatalf("strawman %v should exceed two-layer %v by >= 15s", r.StrawmanReload, r.TwoLayerReload)
+	}
+	for _, rec := range []time.Duration{r.RecoveryDense, r.RecoverySparse} {
+		if rec < time.Second || rec > 60*time.Second {
+			t.Fatalf("recovery %v outside the paper's 10-50s order", rec)
+		}
+	}
+	if r.RecoveryDense < r.RecoverySparse {
+		t.Fatalf("denser packing should recover slower: %v vs %v", r.RecoveryDense, r.RecoverySparse)
+	}
+	if !strings.Contains(FormatSec83(r), "Reload") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestCrossValidateSec9(t *testing.T) {
+	r := CrossValidate()
+	if r.StrictDiffs == 0 {
+		t.Fatal("arrival-order non-determinism produced no strict diffs — §9 effect lost")
+	}
+	if r.ECMPAwareDiffs != 0 {
+		t.Fatalf("ECMP-aware comparator flagged %d diffs, want 0", r.ECMPAwareDiffs)
+	}
+	if r.VerifierAgreement < 0.99 {
+		t.Fatalf("healthy-fabric agreement %.2f < 0.99", r.VerifierAgreement)
+	}
+	if r.ComparedEntries == 0 {
+		t.Fatal("nothing compared")
+	}
+	if !strings.Contains(FormatCrossValidate(r), "ECMP-aware") {
+		t.Fatal("format broken")
+	}
+}

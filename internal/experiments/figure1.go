@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"crystalnet/internal/bgp"
+	"crystalnet/internal/config"
+	"crystalnet/internal/core"
+	"crystalnet/internal/dataplane"
+	"crystalnet/internal/firmware"
+	"crystalnet/internal/netpkt"
+	"crystalnet/internal/telemetry"
+	"crystalnet/internal/topo"
+)
+
+// Figure1Result quantifies the traffic imbalance of the paper's Figure 1:
+// vendor-divergent IP aggregation pins R8's traffic for the aggregate onto
+// R7, while a config-level model predicts an even ECMP split.
+type Figure1Result struct {
+	// Emulated share of probe flows traversing each aggregator.
+	R6Share, R7Share float64
+	// PredictedShare is what the idealized (vendor-uniform) model expects
+	// for each aggregator.
+	PredictedShare float64
+	// R8BestPath is the AS path R8 selected for the aggregate.
+	R8BestPath string
+	Flows      int
+}
+
+// Figure1 builds the Figure 1 topology — R6 runs the inherit-a-path vendor,
+// R7 the bare-path vendor, both aggregating P1/P2 into P3 — then injects
+// flows from R8 toward P3 and measures which aggregator carries them.
+func Figure1(flows int) Figure1Result {
+	if flows <= 0 {
+		flows = 200
+	}
+	n := topo.NewNetwork("figure1")
+	r1 := n.AddDevice("r1", topo.LayerToR, 1, "stub")
+	r1.Originated = append(r1.Originated,
+		netpkt.MustParsePrefix("100.64.0.0/24"), netpkt.MustParsePrefix("100.64.1.0/24"))
+	for i, as := range []uint32{2, 3, 4, 5} {
+		n.AddDevice(fmt.Sprintf("r%d", i+2), topo.LayerLeaf, as, "stub")
+	}
+	n.AddDevice("r6", topo.LayerSpine, 6, "vendorA")
+	n.AddDevice("r7", topo.LayerSpine, 7, "vendorC")
+	n.AddDevice("r8", topo.LayerBorder, 8, "stub")
+	connect := func(a, b string) { n.Connect(n.MustDevice(a), n.MustDevice(b)) }
+	connect("r1", "r2")
+	connect("r1", "r3")
+	connect("r1", "r4")
+	connect("r1", "r5")
+	connect("r2", "r6")
+	connect("r3", "r6")
+	connect("r4", "r7")
+	connect("r5", "r7")
+	connect("r6", "r8")
+	connect("r7", "r8")
+
+	// Vendor-A (R6) selects a contributor path; Vendor-C (R7) announces a
+	// bare path — the §2 corner case.
+	images := map[string]firmware.VendorImage{
+		"stub":    fastImage("stub", firmware.Bugs{}),
+		"vendorA": fastImage("vendorA", firmware.Bugs{}),
+		"vendorC": fastImage("vendorC", firmware.Bugs{}),
+	}
+	vc := images["vendorC"]
+	vc.AggregationMode = bgp.AggBarePath
+	images["vendorC"] = vc
+
+	o := core.New(core.Options{Seed: 11})
+	prep, err := o.Prepare(core.PrepareInput{Network: n, Images: images})
+	if err != nil {
+		panic(err)
+	}
+	agg := config.Aggregate{Prefix: netpkt.MustParsePrefix("100.64.0.0/23"), SummaryOnly: true}
+	prep.Configs["r6"].Aggregates = append(prep.Configs["r6"].Aggregates, agg)
+	prep.Configs["r7"].Aggregates = append(prep.Configs["r7"].Aggregates, agg)
+
+	em, err := o.Mockup(prep, false)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := em.RunUntilConverged(0); err != nil {
+		panic(err)
+	}
+
+	res := Figure1Result{PredictedShare: 0.5, Flows: flows}
+	if attrs, ok := em.Devices["r8"].BGP().BestRoute(agg.Prefix); ok {
+		res.R8BestPath = attrs.Path.String()
+	}
+	// Inject distinct flows from R8 toward addresses inside P3.
+	src := em.Devices["r8"].Config().Loopback.Addr
+	for i := 0; i < flows; i++ {
+		em.InjectPackets("r8", dataplane.PacketMeta{
+			Src: src, Dst: netpkt.MustParseIP("100.64.0.0") + netpkt.IP(i%512),
+			Proto: netpkt.ProtoUDP, SrcPort: uint16(1024 + i), DstPort: 80, TTL: 32,
+		}, 1, time.Millisecond)
+	}
+	if _, err := em.RunUntilConverged(0); err != nil {
+		panic(err)
+	}
+	share := telemetry.LoadShare(em.PullPackets(), []string{"r6", "r7"})
+	res.R6Share, res.R7Share = share["r6"], share["r7"]
+	return res
+}
+
+// FormatFigure1 renders the measurement against the ideal-model prediction.
+func FormatFigure1(r Figure1Result) string {
+	rows := [][]string{
+		{"R6 (Vendor-A, inherit path)", fmt.Sprintf("%.0f%%", r.R6Share*100), fmt.Sprintf("%.0f%%", r.PredictedShare*100)},
+		{"R7 (Vendor-C, bare path)", fmt.Sprintf("%.0f%%", r.R7Share*100), fmt.Sprintf("%.0f%%", r.PredictedShare*100)},
+	}
+	return fmt.Sprintf("R8 best path for P3: {%s} over %d flows\n%s",
+		r.R8BestPath, r.Flows, table([]string{"Aggregator", "Emulated share", "Ideal-model share"}, rows))
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"crystalnet/internal/boundary"
+	"crystalnet/internal/topo"
+)
+
+// Figure7Row reports the safety analysis of one boundary choice from the
+// paper's Figure 7.
+type Figure7Row struct {
+	Case           string
+	Emulated       []string
+	Boundary       []string
+	Speakers       []string
+	Prop52OK       bool
+	Prop53OK       bool
+	LemmaSafe      bool
+	Counterexample []string
+}
+
+// Figure7 rebuilds the paper's Figure 7 topology and evaluates all three
+// boundary choices: (a) unsafe, (b) safe including the spines, (c) safe
+// leaf layer without ToRs.
+func Figure7() []Figure7Row {
+	n := figure7Topology()
+	cases := []struct {
+		name     string
+		emulated []string
+	}{
+		{"7a: T1-4,L1-4 (unsafe)", []string{"T1", "T2", "T3", "T4", "L1", "L2", "L3", "L4"}},
+		{"7b: +S1,S2 (safe)", []string{"T1", "T2", "T3", "T4", "L1", "L2", "L3", "L4", "S1", "S2"}},
+		{"7c: L1-4,S1-2 (safe)", []string{"L1", "L2", "L3", "L4", "S1", "S2"}},
+	}
+	var out []Figure7Row
+	for _, c := range cases {
+		emu := map[string]bool{}
+		for _, name := range c.emulated {
+			emu[name] = true
+		}
+		plan, err := boundary.BuildPlan(n, emu)
+		if err != nil {
+			panic(err)
+		}
+		res := plan.SimulatePropagation()
+		out = append(out, Figure7Row{
+			Case:     c.name,
+			Emulated: c.emulated,
+			Boundary: plan.Boundary, Speakers: plan.Speakers,
+			Prop52OK:       plan.CheckProposition52() == nil,
+			Prop53OK:       plan.CheckProposition53() == nil,
+			LemmaSafe:      res.Safe,
+			Counterexample: res.Counterexample,
+		})
+	}
+	return out
+}
+
+// figure7Topology is the paper's Figure 7 network (see the boundary
+// package's tests for the AS plan rationale).
+func figure7Topology() *topo.Network {
+	n := topo.NewNetwork("figure7")
+	s1 := n.AddDevice("S1", topo.LayerSpine, 100, "ctnra")
+	s2 := n.AddDevice("S2", topo.LayerSpine, 100, "ctnra")
+	leafAS := []uint32{200, 200, 300, 300, 400, 400}
+	var leaves []*topo.Device
+	for i := 0; i < 6; i++ {
+		l := n.AddDevice(fmt.Sprintf("L%d", i+1), topo.LayerLeaf, leafAS[i], "ctnra")
+		leaves = append(leaves, l)
+		n.Connect(l, s1)
+		n.Connect(l, s2)
+	}
+	for i := 0; i < 6; i++ {
+		t := n.AddDevice(fmt.Sprintf("T%d", i+1), topo.LayerToR, uint32(i+1), "ctnrb")
+		pair := (i / 2) * 2
+		n.Connect(t, leaves[pair])
+		n.Connect(t, leaves[pair+1])
+	}
+	return n
+}
+
+// FormatFigure7 renders the safety table.
+func FormatFigure7(rows []Figure7Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		ce := "-"
+		if len(r.Counterexample) > 0 {
+			ce = strings.Join(r.Counterexample, ">")
+		}
+		cells = append(cells, []string{
+			r.Case,
+			fmt.Sprintf("%d", len(r.Boundary)),
+			fmt.Sprintf("%d", len(r.Speakers)),
+			check(r.Prop52OK), check(r.Prop53OK), check(r.LemmaSafe), ce,
+		})
+	}
+	return table([]string{"Case", "#Boundary", "#Speakers", "Prop5.2", "Prop5.3", "Lemma5.1", "Counterexample"}, cells)
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"crystalnet/internal/cloud"
+	"crystalnet/internal/core"
+	"crystalnet/internal/topo"
+)
+
+// RunResult is one full emulation lifecycle measurement.
+type RunResult struct {
+	Metrics core.Metrics
+	Clear   time.Duration
+	// CPUByMinute is the p95 per-VM utilization per minute from mockup
+	// start (Figure 9's series).
+	CPUByMinute []float64
+	Devices     int
+	VMs         int
+	Events      uint64
+}
+
+// runMockupOnce provisions, mocks up, converges and clears one whole-DC
+// emulation with the production vendor images, returning all measurements.
+func runMockupOnce(spec topo.ClosSpec, vmCount int, seed int64) RunResult {
+	n := topo.GenerateClos(spec)
+	topo.AttachWAN(n, spec, 2)
+
+	o := core.New(core.Options{Seed: seed, VMCount: vmCount})
+	prep, err := o.Prepare(core.PrepareInput{Network: n})
+	if err != nil {
+		panic(err)
+	}
+	em, err := o.Mockup(prep, false)
+	if err != nil {
+		panic(err)
+	}
+	metrics, err := em.RunUntilConverged(0)
+	if err != nil {
+		panic(err)
+	}
+	// CPU series over the mockup window (Figure 9 plots 30 minutes).
+	minutes := int(metrics.Mockup/time.Minute) + 2
+	if minutes > 40 {
+		minutes = 40
+	}
+	cpu := make([]float64, minutes)
+	for m := 0; m < minutes; m++ {
+		cpu[m] = o.Cloud.UtilizationP95(m)
+	}
+
+	clearStart := o.Eng.Now()
+	em.Clear(nil)
+	o.Eng.Run(0)
+	clear := em.ClearedAt.Sub(clearStart)
+	o.Destroy(prep)
+
+	return RunResult{
+		Metrics: metrics, Clear: clear, CPUByMinute: cpu,
+		Devices: len(em.Devices), VMs: len(prep.VMs()),
+		Events: o.Eng.Fired(),
+	}
+}
+
+// Figure8Config scopes the latency sweep.
+type Figure8Config struct {
+	// Reps per configuration (the paper uses 10).
+	Reps int
+	// LDCScale divides L-DC's pod count to fit the measurement host;
+	// 1 runs the paper's full 4636-device fabric.
+	LDCScale int
+	// SkipLDC drops the largest fabric (for quick bench runs).
+	SkipLDC bool
+	// SkipMDC drops the medium fabric too (smoke runs).
+	SkipMDC bool
+}
+
+// Figure8Point is one bar group of Figure 8: a DC size at a VM budget.
+type Figure8Point struct {
+	DC      string
+	Devices int
+	VMs     int
+	Reps    int
+
+	NetworkReady Percentiles
+	RouteReady   Percentiles
+	Mockup       Percentiles
+	Clear        Percentiles
+}
+
+// Figure8 sweeps {S-DC, M-DC, L-DC} x {small, large VM cluster} and reports
+// the p10/50/90 of network-ready, route-ready, mockup and clear latencies —
+// the reproduction of the paper's Figure 8. VM budgets follow the paper
+// (S-DC/5,10; M-DC/50,100; L-DC/500,1000) scaled with the fabric.
+func Figure8(cfg Figure8Config) []Figure8Point {
+	if cfg.Reps <= 0 {
+		cfg.Reps = 5
+	}
+	if cfg.LDCScale <= 0 {
+		cfg.LDCScale = 8
+	}
+	type sweep struct {
+		spec topo.ClosSpec
+		vms  []int
+	}
+	sweeps := []sweep{{topo.SDC(), []int{5, 10}}}
+	if !cfg.SkipMDC {
+		sweeps = append(sweeps, sweep{topo.MDC(), []int{50, 100}})
+	}
+	if !cfg.SkipLDC {
+		ldc := topo.LDCScaled(cfg.LDCScale)
+		// Paper densities: 500 VMs ≈ devices/9.3, 1000 ≈ devices/4.6.
+		d := ldc.NumDevices()
+		sweeps = append(sweeps, sweep{ldc, []int{d*500/4636 + 1, d*1000/4636 + 1}})
+	}
+
+	var out []Figure8Point
+	for _, s := range sweeps {
+		for _, vms := range s.vms {
+			var nr, rr, mu, cl []time.Duration
+			var devices, actualVMs int
+			for rep := 0; rep < cfg.Reps; rep++ {
+				r := runMockupOnce(s.spec, vms, int64(1000+rep))
+				nr = append(nr, r.Metrics.NetworkReady)
+				rr = append(rr, r.Metrics.RouteReady)
+				mu = append(mu, r.Metrics.Mockup)
+				cl = append(cl, r.Clear)
+				devices, actualVMs = r.Devices, r.VMs
+			}
+			out = append(out, Figure8Point{
+				DC: s.spec.Name, Devices: devices, VMs: actualVMs, Reps: cfg.Reps,
+				NetworkReady: percentiles(nr), RouteReady: percentiles(rr),
+				Mockup: percentiles(mu), Clear: percentiles(cl),
+			})
+		}
+	}
+	return out
+}
+
+// FormatFigure8 renders the latency table.
+func FormatFigure8(points []Figure8Point) string {
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{
+			fmt.Sprintf("%s/%d", p.DC, p.VMs),
+			fmt.Sprintf("%d", p.Devices),
+			p.NetworkReady.String(), p.RouteReady.String(), p.Mockup.String(), p.Clear.String(),
+		})
+	}
+	return table([]string{"DC/#VMs", "Devices", "network-ready", "route-ready", "mockup", "clear"}, cells)
+}
+
+// Figure9Series is one CPU-over-time curve.
+type Figure9Series struct {
+	DC          string
+	VMs         int
+	MinutesP95  []float64
+	CostPerHour float64
+}
+
+// Figure9 measures the 95th-percentile per-VM CPU utilization minute by
+// minute during Mockup for each DC size — the paper's Figure 9 curves
+// (early plumbing+boot burst, then a long convergence tail).
+func Figure9(ldcScale int, skipLarge bool) []Figure9Series {
+	if ldcScale <= 0 {
+		ldcScale = 8
+	}
+	type cse struct {
+		spec topo.ClosSpec
+		vms  int
+	}
+	cases := []cse{{topo.SDC(), 5}}
+	if !skipLarge {
+		cases = append(cases, cse{topo.MDC(), 50})
+		ldc := topo.LDCScaled(ldcScale)
+		cases = append(cases, cse{ldc, ldc.NumDevices()*500/4636 + 1})
+	}
+	var out []Figure9Series
+	for _, c := range cases {
+		r := runMockupOnce(c.spec, c.vms, 99)
+		out = append(out, Figure9Series{
+			DC: c.spec.Name, VMs: r.VMs, MinutesP95: r.CPUByMinute,
+			CostPerHour: float64(r.VMs) * cloud.SKUStandard.PricePerHour,
+		})
+	}
+	return out
+}
+
+// FormatFigure9 renders each curve as a sparkline-ish row of percentages.
+func FormatFigure9(series []Figure9Series) string {
+	var b []byte
+	for _, s := range series {
+		b = append(b, fmt.Sprintf("%s / %d VMs ($%.0f/h):\n  min: ", s.DC, s.VMs, s.CostPerHour)...)
+		for m, u := range s.MinutesP95 {
+			if m > 0 && m%10 == 0 {
+				b = append(b, "\n       "...)
+			}
+			b = append(b, fmt.Sprintf("%2d:%3.0f%% ", m, u*100)...)
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"time"
+
+	"crystalnet/internal/core"
+	"crystalnet/internal/topo"
+)
+
+// Sec83Result holds the §8.3 measurements: device reload latency under the
+// two-layer PhyNet design vs the everything-together strawman, and VM
+// failure recovery times at two packing densities.
+type Sec83Result struct {
+	TwoLayerReload time.Duration
+	StrawmanReload time.Duration
+	// RecoveryDense/RecoverySparse are device+link reset times after a VM
+	// failure (excluding the VM reboot itself) at ~24 and ~12 devices/VM.
+	RecoveryDense  time.Duration
+	RecoverySparse time.Duration
+}
+
+// Sec83 reproduces the paper's §8.3: reload a single device under both
+// designs, then fail a VM at two deployment densities and measure recovery.
+func Sec83() Sec83Result {
+	res := Sec83Result{}
+	res.TwoLayerReload = measureReload(false)
+	res.StrawmanReload = measureReload(true)
+	res.RecoveryDense = measureRecovery(5)
+	res.RecoverySparse = measureRecovery(10)
+	return res
+}
+
+func buildSDC(opts core.Options, vms int) (*core.Orchestrator, *core.Emulation) {
+	spec := topo.SDC()
+	n := topo.GenerateClos(spec)
+	topo.AttachWAN(n, spec, 2)
+	opts.VMCount = vms
+	o := core.New(opts)
+	prep, err := o.Prepare(core.PrepareInput{Network: n})
+	if err != nil {
+		panic(err)
+	}
+	em, err := o.Mockup(prep, false)
+	if err != nil {
+		panic(err)
+	}
+	if _, err := em.RunUntilConverged(0); err != nil {
+		panic(err)
+	}
+	return o, em
+}
+
+func measureReload(strawman bool) time.Duration {
+	o, em := buildSDC(core.Options{Seed: 5, StrawmanReload: strawman}, 10)
+	start := o.Eng.Now()
+	var took time.Duration
+	if err := em.ReloadDevice("leaf-p0-0", nil, func() {
+		took = o.Eng.Now().Sub(start)
+	}); err != nil {
+		panic(err)
+	}
+	o.Eng.Run(0)
+	return took
+}
+
+func measureRecovery(vms int) time.Duration {
+	o, em := buildSDC(core.Options{Seed: 6}, vms)
+	// Fail the VM hosting the first ToR.
+	var vmName string
+	s, err := em.Login("tor-p0-0")
+	if err != nil {
+		panic(err)
+	}
+	_ = s
+	for _, vm := range o.Cloud.VMs() {
+		if vm.Group == "ctnrb" {
+			vmName = vm.Name
+			o.Cloud.Fail(vm)
+			break
+		}
+	}
+	_ = vmName
+	if _, err := em.RunUntilConverged(0); err != nil {
+		panic(err)
+	}
+	recs := em.Recoveries()
+	if len(recs) == 0 {
+		panic("sec83: no recovery recorded")
+	}
+	return recs[0]
+}
+
+// FormatSec83 renders the measurements.
+func FormatSec83(r Sec83Result) string {
+	rows := [][]string{
+		{"Reload (two-layer PhyNet design)", r.TwoLayerReload.Round(time.Millisecond).String()},
+		{"Reload (strawman: recreate interfaces)", r.StrawmanReload.Round(time.Millisecond).String()},
+		{"VM recovery, dense packing (~24 dev/VM)", r.RecoveryDense.Round(time.Second).String()},
+		{"VM recovery, sparse packing (~12 dev/VM)", r.RecoverySparse.Round(time.Second).String()},
+	}
+	return table([]string{"Measurement", "Latency"}, rows)
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crystalnet/internal/topo"
+)
+
+// Table3Row describes one evaluation fabric.
+type Table3Row struct {
+	Network                       string
+	Borders, Spines, Leaves, ToRs int
+	// Routes is the total number of routing-table entries across all
+	// switches once converged (the paper's last column), estimated
+	// analytically from the fabric shape.
+	Routes int
+}
+
+// Table3 generates the three evaluation fabrics and reports their shapes —
+// the reproduction of the paper's Table 3 (S-DC/M-DC/L-DC).
+func Table3() []Table3Row {
+	var out []Table3Row
+	for _, spec := range []topo.ClosSpec{topo.SDC(), topo.MDC(), topo.LDC()} {
+		n := topo.GenerateClos(spec)
+		c := n.LayerCounts()
+		out = append(out, Table3Row{
+			Network: spec.Name,
+			Borders: c[topo.LayerBorder], Spines: c[topo.LayerSpine],
+			Leaves: c[topo.LayerLeaf], ToRs: c[topo.LayerToR],
+			Routes: spec.EstimatedRoutes(),
+		})
+	}
+	return out
+}
+
+// FormatTable3 renders the fabric inventory.
+func FormatTable3(rows []Table3Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		routes := fmt.Sprintf("%.1fM", float64(r.Routes)/1e6)
+		if r.Routes < 1_000_000 {
+			routes = fmt.Sprintf("%.0fK", float64(r.Routes)/1e3)
+		}
+		cells = append(cells, []string{
+			r.Network,
+			fmt.Sprintf("%d", r.Borders), fmt.Sprintf("%d", r.Spines),
+			fmt.Sprintf("%d", r.Leaves), fmt.Sprintf("%d", r.ToRs),
+			routes,
+		})
+	}
+	return table([]string{"Network", "#Borders", "#Spines", "#Leaves", "#ToRs", "#Routes"}, cells)
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crystalnet/internal/boundary"
+	"crystalnet/internal/cloud"
+	"crystalnet/internal/topo"
+)
+
+// Table4Row reports the emulation scale of one safe-boundary validation
+// case in L-DC.
+type Table4Row struct {
+	Case                          string
+	Borders, Spines, Leaves, ToRs int
+	Speakers                      int
+	Proportion                    float64
+	VMs                           int
+	CostPerHourUSD                float64
+	// FullVMs / FullCost are the whole-fabric emulation footprint, for the
+	// §8.4 cost-reduction claim.
+	FullVMs       int
+	FullCost      float64
+	CostReduction float64
+}
+
+// Table4 runs Algorithm 1 for the paper's two common validation cases on
+// the full L-DC topology — changing one pod, and changing the whole spine
+// layer — and reports the resulting emulation scales and cost reductions
+// (the paper's Table 4 plus the 94-96% claim of §1).
+func Table4() []Table4Row {
+	n := topo.GenerateClos(topo.LDC())
+	full := fullScale(n)
+
+	var out []Table4Row
+	// Case 1: one pod.
+	var pod []string
+	for _, d := range n.DevicesInPod(0) {
+		pod = append(pod, d.Name)
+	}
+	out = append(out, boundaryCase(n, "One Pod", pod, full))
+
+	// Case 2: the whole spine layer.
+	var spines []string
+	for _, d := range n.DevicesByLayer(topo.LayerSpine) {
+		spines = append(spines, d.Name)
+	}
+	out = append(out, boundaryCase(n, "All Spines", spines, full))
+	return out
+}
+
+type fullFootprint struct {
+	vms  int
+	cost float64
+}
+
+func fullScale(n *topo.Network) fullFootprint {
+	emu := map[string]bool{}
+	for _, d := range n.Devices() {
+		if d.Layer != topo.LayerExternal {
+			emu[d.Name] = true
+		}
+	}
+	p, err := boundary.BuildPlan(n, emu)
+	if err != nil {
+		panic(err)
+	}
+	s := p.Scale()
+	return fullFootprint{vms: s.VMs, cost: float64(s.VMs) * cloud.SKUStandard.PricePerHour}
+}
+
+func boundaryCase(n *topo.Network, name string, must []string, full fullFootprint) Table4Row {
+	emu, err := boundary.FindSafeDCBoundary(n, must)
+	if err != nil {
+		panic(err)
+	}
+	p, err := boundary.BuildPlan(n, emu)
+	if err != nil {
+		panic(err)
+	}
+	if err := p.CheckSafe(); err != nil {
+		panic(fmt.Sprintf("table4 %s: unsafe boundary: %v", name, err))
+	}
+	s := p.Scale()
+	cost := float64(s.VMs) * cloud.SKUStandard.PricePerHour
+	return Table4Row{
+		Case:    name,
+		Borders: s.LayerCounts[topo.LayerBorder], Spines: s.LayerCounts[topo.LayerSpine],
+		Leaves: s.LayerCounts[topo.LayerLeaf], ToRs: s.LayerCounts[topo.LayerToR],
+		Speakers:   s.Speakers,
+		Proportion: s.Proportion,
+		VMs:        s.VMs, CostPerHourUSD: cost,
+		FullVMs: full.vms, FullCost: full.cost,
+		CostReduction: 1 - cost/full.cost,
+	}
+}
+
+// FormatTable4 renders the boundary-scale table.
+func FormatTable4(rows []Table4Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Case,
+			fmt.Sprintf("%d", r.Borders), fmt.Sprintf("%d", r.Spines),
+			fmt.Sprintf("%d", r.Leaves), fmt.Sprintf("%d", r.ToRs),
+			fmt.Sprintf("%d", r.Speakers),
+			fmt.Sprintf("%.1f%%", r.Proportion*100),
+			fmt.Sprintf("%d", r.VMs),
+			fmt.Sprintf("$%.2f/h", r.CostPerHourUSD),
+			fmt.Sprintf("%.1f%% (vs %d VMs $%.0f/h)", r.CostReduction*100, r.FullVMs, r.FullCost),
+		})
+	}
+	return table([]string{"Case", "#Borders", "#Spines", "#Leaves", "#ToRs", "#Speakers", "Prop.", "VMs", "Cost", "Reduction"}, cells)
+}

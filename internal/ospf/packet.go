@@ -1,0 +1,275 @@
+// Package ospf implements the OSPFv2 control plane used by the emulator's
+// WAN and backbone devices: hello-based adjacency bring-up, DR/BDR election
+// on broadcast segments (the state Proposition 5.4's boundary condition
+// depends on), LSDB flooding, and Dijkstra SPF route computation.
+//
+// The implementation condenses RFC 2328 where the emulator's reliable
+// virtual links make machinery redundant (no retransmission lists, no
+// checksum ageing), but packet formats are real binary encodings and the
+// flooding/SPF semantics are faithful.
+package ospf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"crystalnet/internal/netpkt"
+)
+
+// Packet types (RFC 2328 §4.3; database description and ack packets are
+// subsumed by full-LSDB exchange on adjacency).
+const (
+	PktHello    uint8 = 1
+	PktLSUpdate uint8 = 4
+)
+
+// ErrTruncated indicates a short OSPF packet.
+var ErrTruncated = errors.New("ospf: truncated packet")
+
+// RouterID identifies an OSPF router (its loopback address by convention).
+type RouterID = netpkt.IP
+
+// Hello is an OSPF Hello packet.
+type Hello struct {
+	Router    RouterID
+	Priority  uint8
+	DR, BDR   RouterID
+	Neighbors []RouterID // router IDs seen on this segment
+}
+
+// LSAType distinguishes LSA kinds.
+type LSAType uint8
+
+// Supported LSA types.
+const (
+	LSARouter  LSAType = 1
+	LSANetwork LSAType = 2
+)
+
+// LinkType classifies one link in a router LSA.
+type LinkType uint8
+
+// Router-LSA link types (RFC 2328 §A.4.2).
+const (
+	LinkP2P     LinkType = 1
+	LinkTransit LinkType = 2
+	LinkStub    LinkType = 3
+)
+
+// Link is one entry in a router LSA.
+type Link struct {
+	Type LinkType
+	// ID is the neighbor router ID (P2P), the DR interface address
+	// (Transit), or the network address (Stub).
+	ID netpkt.IP
+	// Data is the local interface address (P2P/Transit) or the netmask
+	// length (Stub, stored in the low byte).
+	Data uint32
+	Cost uint16
+}
+
+// LSA is a link-state advertisement.
+type LSA struct {
+	Type LSAType
+	// ID is the advertising router ID (Router LSA) or the DR interface
+	// address (Network LSA).
+	ID  netpkt.IP
+	Adv RouterID
+	Seq uint32
+	// Links is populated for Router LSAs.
+	Links []Link
+	// Mask and Attached are populated for Network LSAs.
+	MaskLen  uint8
+	Attached []RouterID
+}
+
+// Key identifies an LSA instance in the LSDB.
+type Key struct {
+	Type LSAType
+	ID   netpkt.IP
+	Adv  RouterID
+}
+
+// Key returns the LSDB key of the LSA.
+func (l *LSA) Key() Key { return Key{Type: l.Type, ID: l.ID, Adv: l.Adv} }
+
+// Clone returns a deep copy.
+func (l *LSA) Clone() *LSA {
+	c := *l
+	c.Links = append([]Link(nil), l.Links...)
+	c.Attached = append([]RouterID(nil), l.Attached...)
+	return &c
+}
+
+// String formats the LSA for logs.
+func (l *LSA) String() string {
+	if l.Type == LSARouter {
+		return fmt.Sprintf("rtr-lsa adv=%s seq=%d links=%d", l.Adv, l.Seq, len(l.Links))
+	}
+	return fmt.Sprintf("net-lsa id=%s adv=%s seq=%d attached=%d", l.ID, l.Adv, l.Seq, len(l.Attached))
+}
+
+// MarshalHello encodes a Hello packet with the common OSPF header. Body
+// layout: priority(1) dr(4) bdr(4) neighbors(4 each).
+func MarshalHello(h *Hello) []byte {
+	b := make([]byte, 24+9+4*len(h.Neighbors))
+	putHeader(b, PktHello, h.Router)
+	p := b[24:]
+	p[0] = h.Priority
+	binary.BigEndian.PutUint32(p[1:5], uint32(h.DR))
+	binary.BigEndian.PutUint32(p[5:9], uint32(h.BDR))
+	for i, n := range h.Neighbors {
+		binary.BigEndian.PutUint32(p[9+4*i:13+4*i], uint32(n))
+	}
+	return b
+}
+
+// MarshalLSUpdate encodes a set of LSAs.
+func MarshalLSUpdate(router RouterID, lsas []*LSA) []byte {
+	body := make([]byte, 4)
+	binary.BigEndian.PutUint32(body, uint32(len(lsas)))
+	for _, l := range lsas {
+		body = append(body, marshalLSA(l)...)
+	}
+	b := make([]byte, 24+len(body))
+	putHeader(b, PktLSUpdate, router)
+	copy(b[24:], body)
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
+	return b
+}
+
+func putHeader(b []byte, typ uint8, router RouterID) {
+	b[0] = 2 // version
+	b[1] = typ
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
+	binary.BigEndian.PutUint32(b[4:8], uint32(router))
+	// area 0, checksum 0, auth none: bytes 8..23 zero.
+}
+
+func marshalLSA(l *LSA) []byte {
+	// header: type(1) id(4) adv(4) seq(4) count(2)
+	b := make([]byte, 15)
+	b[0] = byte(l.Type)
+	binary.BigEndian.PutUint32(b[1:5], uint32(l.ID))
+	binary.BigEndian.PutUint32(b[5:9], uint32(l.Adv))
+	binary.BigEndian.PutUint32(b[9:13], l.Seq)
+	switch l.Type {
+	case LSARouter:
+		binary.BigEndian.PutUint16(b[13:15], uint16(len(l.Links)))
+		for _, ln := range l.Links {
+			var e [11]byte
+			e[0] = byte(ln.Type)
+			binary.BigEndian.PutUint32(e[1:5], uint32(ln.ID))
+			binary.BigEndian.PutUint32(e[5:9], ln.Data)
+			binary.BigEndian.PutUint16(e[9:11], ln.Cost)
+			b = append(b, e[:]...)
+		}
+	case LSANetwork:
+		binary.BigEndian.PutUint16(b[13:15], uint16(len(l.Attached)))
+		b = append(b, l.MaskLen)
+		for _, r := range l.Attached {
+			var e [4]byte
+			binary.BigEndian.PutUint32(e[:], uint32(r))
+			b = append(b, e[:]...)
+		}
+	}
+	return b
+}
+
+func parseLSA(b []byte) (*LSA, []byte, error) {
+	if len(b) < 15 {
+		return nil, nil, ErrTruncated
+	}
+	l := &LSA{
+		Type: LSAType(b[0]),
+		ID:   netpkt.IP(binary.BigEndian.Uint32(b[1:5])),
+		Adv:  RouterID(binary.BigEndian.Uint32(b[5:9])),
+		Seq:  binary.BigEndian.Uint32(b[9:13]),
+	}
+	n := int(binary.BigEndian.Uint16(b[13:15]))
+	rest := b[15:]
+	switch l.Type {
+	case LSARouter:
+		if len(rest) < 11*n {
+			return nil, nil, ErrTruncated
+		}
+		for i := 0; i < n; i++ {
+			e := rest[11*i:]
+			l.Links = append(l.Links, Link{
+				Type: LinkType(e[0]),
+				ID:   netpkt.IP(binary.BigEndian.Uint32(e[1:5])),
+				Data: binary.BigEndian.Uint32(e[5:9]),
+				Cost: binary.BigEndian.Uint16(e[9:11]),
+			})
+		}
+		rest = rest[11*n:]
+	case LSANetwork:
+		if len(rest) < 1+4*n {
+			return nil, nil, ErrTruncated
+		}
+		l.MaskLen = rest[0]
+		for i := 0; i < n; i++ {
+			l.Attached = append(l.Attached, RouterID(binary.BigEndian.Uint32(rest[1+4*i:5+4*i])))
+		}
+		rest = rest[1+4*n:]
+	default:
+		return nil, nil, fmt.Errorf("ospf: unknown LSA type %d", l.Type)
+	}
+	return l, rest, nil
+}
+
+// DecodedPacket is a parsed OSPF packet.
+type DecodedPacket struct {
+	Type   uint8
+	Router RouterID
+	Hello  *Hello
+	LSAs   []*LSA
+}
+
+// DecodePacket parses an OSPF packet.
+func DecodePacket(b []byte) (*DecodedPacket, error) {
+	if len(b) < 24 {
+		return nil, ErrTruncated
+	}
+	if b[0] != 2 {
+		return nil, fmt.Errorf("ospf: bad version %d", b[0])
+	}
+	d := &DecodedPacket{Type: b[1], Router: RouterID(binary.BigEndian.Uint32(b[4:8]))}
+	body := b[24:]
+	switch d.Type {
+	case PktHello:
+		if len(body) < 9 {
+			return nil, ErrTruncated
+		}
+		h := &Hello{
+			Router:   d.Router,
+			Priority: body[0],
+			DR:       RouterID(binary.BigEndian.Uint32(body[1:5])),
+			BDR:      RouterID(binary.BigEndian.Uint32(body[5:9])),
+		}
+		for rest := body[9:]; len(rest) >= 4; rest = rest[4:] {
+			h.Neighbors = append(h.Neighbors, RouterID(binary.BigEndian.Uint32(rest[:4])))
+		}
+		d.Hello = h
+		return d, nil
+	case PktLSUpdate:
+		if len(body) < 4 {
+			return nil, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint32(body[:4]))
+		rest := body[4:]
+		for i := 0; i < n; i++ {
+			var l *LSA
+			var err error
+			l, rest, err = parseLSA(rest)
+			if err != nil {
+				return nil, err
+			}
+			d.LSAs = append(d.LSAs, l)
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("ospf: unknown packet type %d", d.Type)
+	}
+}

@@ -1,0 +1,241 @@
+package p4
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"crystalnet/internal/netpkt"
+)
+
+func pkt(dst string, proto uint8, ttl uint8) *Packet {
+	return NewPacket(netpkt.MustParseIP("192.0.2.1"), netpkt.MustParseIP(dst), proto, 1000, 80, ttl, 1)
+}
+
+func lpmForward(t *Table, cidr string, port uint32) {
+	t.AddEntry(&Entry{
+		Keys:   []Key{LPMKey(netpkt.MustParsePrefix(cidr))},
+		Action: Action{Kind: ActForward, Port: port},
+	})
+}
+
+func TestReferenceProgramForwards(t *testing.T) {
+	prog := ReferenceSwitchProgram(true, true)
+	lpm := prog.Table("ipv4_lpm")
+	lpmForward(lpm, "100.64.0.0/24", 3)
+	lpmForward(lpm, "0.0.0.0/0", 9)
+
+	r := prog.Run(pkt("100.64.0.7", netpkt.ProtoUDP, 64))
+	if r.Verdict != Forwarded || r.Port != 3 {
+		t.Fatalf("result = %s", r.TraceString())
+	}
+	// Default route catches the rest.
+	r = prog.Run(pkt("8.8.8.8", netpkt.ProtoUDP, 64))
+	if r.Verdict != Forwarded || r.Port != 9 {
+		t.Fatalf("default route: %s", r.TraceString())
+	}
+	// LPM prefers the longer prefix even when added after.
+	lpmForward(lpm, "100.64.0.0/28", 5)
+	r = prog.Run(pkt("100.64.0.7", netpkt.ProtoUDP, 64))
+	if r.Port != 5 {
+		t.Fatalf("LPM ordering: %s", r.TraceString())
+	}
+}
+
+func TestTTLDecrementAndExpiry(t *testing.T) {
+	prog := ReferenceSwitchProgram(true, true)
+	lpmForward(prog.Table("ipv4_lpm"), "0.0.0.0/0", 1)
+
+	p := pkt("8.8.8.8", netpkt.ProtoUDP, 64)
+	if r := prog.Run(p); r.Verdict != Forwarded {
+		t.Fatal("forward failed")
+	}
+	if p.Get(FieldTTL) != 63 {
+		t.Fatalf("TTL = %d, want 63", p.Get(FieldTTL))
+	}
+	if r := prog.Run(pkt("8.8.8.8", netpkt.ProtoUDP, 1)); r.Verdict != Dropped {
+		t.Fatalf("TTL 1 must drop: %s", r.TraceString())
+	}
+}
+
+func TestCPUTrapPath(t *testing.T) {
+	healthy := ReferenceSwitchProgram(true, true)
+	// ARP (proto 0 in the parsed vector) punts to CPU.
+	if r := healthy.Run(pkt("10.0.0.1", 0, 64)); r.Verdict != PuntedToCPU {
+		t.Fatalf("ARP not trapped: %s", r.TraceString())
+	}
+	// BGP (TCP) punts too.
+	if r := healthy.Run(pkt("10.0.0.1", netpkt.ProtoTCP, 64)); r.Verdict != PuntedToCPU {
+		t.Fatal("BGP not trapped")
+	}
+
+	// The §7 Case-2 dev build: ARP trap missing — ARP falls through to the
+	// LPM stage and (with no route) is dropped, never reaching the CPU.
+	buggy := ReferenceSwitchProgram(false, true)
+	if r := buggy.Run(pkt("10.0.0.1", 0, 64)); r.Verdict != Dropped {
+		t.Fatalf("buggy build should drop ARP silently: %s", r.TraceString())
+	}
+}
+
+func TestACLStage(t *testing.T) {
+	prog := ReferenceSwitchProgram(true, true)
+	lpmForward(prog.Table("ipv4_lpm"), "0.0.0.0/0", 1)
+	// Block UDP port 53 in the ACL stage.
+	prog.Table("acl").AddEntry(&Entry{
+		Keys: []Key{
+			{Field: FieldProto, Kind: MatchExact, Value: uint32(netpkt.ProtoUDP)},
+			{Field: FieldDstPort, Kind: MatchExact, Value: 53},
+		},
+		Action: Action{Kind: ActDrop},
+	})
+	p := NewPacket(1, 2, netpkt.ProtoUDP, 9, 53, 64, 1)
+	if r := prog.Run(p); r.Verdict != Dropped {
+		t.Fatal("ACL did not drop")
+	}
+	p2 := NewPacket(1, 2, netpkt.ProtoUDP, 9, 443, 64, 1)
+	if r := prog.Run(p2); r.Verdict != Forwarded {
+		t.Fatal("ACL overblocked")
+	}
+}
+
+func TestSetFieldAction(t *testing.T) {
+	prog := &Program{Name: "rewrite"}
+	nat := prog.AddTable("nat", Action{Kind: ActNoOp})
+	nat.AddEntry(&Entry{
+		Keys:   []Key{{Field: FieldDstIP, Kind: MatchExact, Value: uint32(netpkt.MustParseIP("203.0.113.10"))}},
+		Action: Action{Kind: ActSetField, Field: FieldDstIP, Value: uint32(netpkt.MustParseIP("10.0.0.10"))},
+	})
+	lpm := prog.AddTable("ipv4_lpm", Action{Kind: ActDrop})
+	lpmForward(lpm, "10.0.0.0/8", 2)
+
+	p := pkt("203.0.113.10", netpkt.ProtoTCP, 64)
+	r := prog.Run(p)
+	if r.Verdict != Forwarded || r.Port != 2 {
+		t.Fatalf("NAT rewrite failed: %s", r.TraceString())
+	}
+	if netpkt.IP(p.Get(FieldDstIP)) != netpkt.MustParseIP("10.0.0.10") {
+		t.Fatal("field not rewritten")
+	}
+}
+
+func TestTernaryMatchAndPriority(t *testing.T) {
+	prog := &Program{Name: "ternary"}
+	tbl := prog.AddTable("t", Action{Kind: ActDrop})
+	// Low-priority wildcard-ish ternary on the low byte...
+	tbl.AddEntry(&Entry{
+		Keys:     []Key{{Field: FieldDstIP, Kind: MatchTernary, Value: 0x01, Mask: 0xFF}},
+		Action:   Action{Kind: ActForward, Port: 1},
+		Priority: 1,
+	})
+	// ...beaten by an explicit higher-priority entry on the same packets.
+	tbl.AddEntry(&Entry{
+		Keys:     []Key{{Field: FieldDstIP, Kind: MatchTernary, Value: 0x01, Mask: 0x0F}},
+		Action:   Action{Kind: ActForward, Port: 2},
+		Priority: 9,
+	})
+	p := NewPacket(0, netpkt.IP(0xAABBCC01), 6, 1, 2, 64, 0)
+	if r := prog.Run(p); r.Port != 2 {
+		t.Fatalf("priority not honored: %s", r.TraceString())
+	}
+}
+
+func TestCountersAndTrace(t *testing.T) {
+	prog := ReferenceSwitchProgram(true, true)
+	lpmForward(prog.Table("ipv4_lpm"), "100.64.0.0/24", 3)
+	prog.Run(pkt("100.64.0.1", netpkt.ProtoUDP, 64))
+	prog.Run(pkt("9.9.9.9", netpkt.ProtoUDP, 64)) // miss -> default drop
+	lpm := prog.Table("ipv4_lpm")
+	if lpm.Hits != 1 || lpm.Misses != 1 {
+		t.Fatalf("counters = %d/%d", lpm.Hits, lpm.Misses)
+	}
+	r := prog.Run(pkt("100.64.0.1", netpkt.ProtoUDP, 64))
+	s := r.TraceString()
+	for _, want := range []string{"acl[", "cpu_trap[", "ipv4_lpm[hit:forward]", "=> forwarded(port 3)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("trace %q missing %q", s, want)
+		}
+	}
+	if lpm.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestEmptyProgramContinues(t *testing.T) {
+	prog := &Program{Name: "empty"}
+	if r := prog.Run(pkt("1.2.3.4", 6, 64)); r.Verdict != Continued {
+		t.Fatal("front-end pipeline must fall through")
+	}
+	if prog.Table("nope") != nil {
+		t.Fatal("missing table lookup")
+	}
+}
+
+func TestTrapProgram(t *testing.T) {
+	healthy := TrapProgram(true, true)
+	if r := healthy.Run(pkt("10.0.0.1", 0, 64)); r.Verdict != PuntedToCPU {
+		t.Fatal("ARP not trapped")
+	}
+	if r := healthy.Run(pkt("10.0.0.1", netpkt.ProtoUDP, 64)); r.Verdict != Continued {
+		t.Fatal("data traffic must fall through to the forwarder")
+	}
+	buggy := TrapProgram(false, true)
+	if r := buggy.Run(pkt("10.0.0.1", 0, 64)); r.Verdict != Continued {
+		t.Fatal("buggy trap program must let ARP fall to the data path (where it dies)")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if FieldDstIP.String() != "dst_ip" || Field(99).String() != "field?" {
+		t.Fatal("field names")
+	}
+	if ActForward.String() != "forward" || ActionKind(99).String() != "action?" {
+		t.Fatal("action names")
+	}
+	if Forwarded.String() != "forwarded" || Verdict(99).String() != "verdict?" {
+		t.Fatal("verdict names")
+	}
+}
+
+// Property: the pipeline's LPM table always picks the longest matching
+// prefix, regardless of insertion order.
+func TestPropertyLPMOrderIndependent(t *testing.T) {
+	f := func(addr uint32, lens []uint8) bool {
+		prog := &Program{}
+		tbl := prog.AddTable("lpm", Action{Kind: ActDrop})
+		best := -1
+		for i, lRaw := range lens {
+			if i >= 8 {
+				break
+			}
+			l := int(lRaw % 33)
+			pfx := netpkt.Prefix{Addr: netpkt.IP(addr), Len: uint8(l)}
+			pfx.Addr &= pfx.MaskIP()
+			tbl.AddEntry(&Entry{Keys: []Key{LPMKey(pfx)}, Action: Action{Kind: ActForward, Port: uint32(l)}})
+			if l > best {
+				best = l
+			}
+		}
+		if best < 0 {
+			return true
+		}
+		r := prog.Run(NewPacket(0, netpkt.IP(addr), 6, 1, 2, 64, 0))
+		return r.Verdict == Forwarded && int(r.Port) == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPipelineRun(b *testing.B) {
+	prog := ReferenceSwitchProgram(true, true)
+	lpm := prog.Table("ipv4_lpm")
+	for i := 0; i < 1000; i++ {
+		lpmForward(lpm, netpkt.Prefix{Addr: netpkt.IP(0x64000000 + i*256), Len: 24}.String(), uint32(i%32))
+	}
+	p := pkt("100.0.3.9", netpkt.ProtoUDP, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Set(FieldTTL, 64)
+		prog.Run(p)
+	}
+}

@@ -1,0 +1,299 @@
+// Package rib provides the forwarding-state data structures shared by every
+// device in the emulator: FIB entries with ECMP next-hop groups, longest-
+// prefix-match lookup, snapshots for the PullStates API, and the FIB
+// comparator from §9 that tolerates ECMP/aggregation non-determinism when
+// cross-validating emulated state against production (or between runs).
+package rib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crystalnet/internal/netpkt"
+	"crystalnet/internal/trie"
+)
+
+// Proto identifies the protocol that installed a route.
+type Proto uint8
+
+// Route sources, in ascending administrative distance.
+const (
+	ProtoConnected Proto = iota
+	ProtoStatic
+	ProtoOSPF
+	ProtoBGP
+	ProtoAggregate
+)
+
+var protoNames = [...]string{"connected", "static", "ospf", "bgp", "aggregate"}
+
+// String returns the lower-case protocol name.
+func (p Proto) String() string {
+	if int(p) < len(protoNames) {
+		return protoNames[p]
+	}
+	return fmt.Sprintf("proto(%d)", uint8(p))
+}
+
+// AdminDistance returns the conventional administrative distance used when
+// multiple protocols offer the same prefix (lower wins).
+func (p Proto) AdminDistance() int {
+	switch p {
+	case ProtoConnected:
+		return 0
+	case ProtoStatic:
+		return 1
+	case ProtoOSPF:
+		return 110
+	case ProtoBGP:
+		return 20 // eBGP; the fabric is all-eBGP per RFC 7938
+	case ProtoAggregate:
+		return 200
+	}
+	return 255
+}
+
+// NextHop is one way out of the device for a destination.
+type NextHop struct {
+	// IP is the next-hop router address; 0 for directly connected subnets.
+	IP netpkt.IP
+	// Interface is the egress interface name.
+	Interface string
+}
+
+// String formats the next hop as "ip@intf" or "direct@intf".
+func (nh NextHop) String() string {
+	if nh.IP == 0 {
+		return "direct@" + nh.Interface
+	}
+	return nh.IP.String() + "@" + nh.Interface
+}
+
+// Entry is one FIB entry. NextHops with more than one element form an ECMP
+// group.
+type Entry struct {
+	Prefix   netpkt.Prefix
+	NextHops []NextHop
+	Proto    Proto
+}
+
+// Clone returns a deep copy of the entry.
+func (e *Entry) Clone() *Entry {
+	c := *e
+	c.NextHops = append([]NextHop(nil), e.NextHops...)
+	return &c
+}
+
+// canonicalize sorts next hops so entry comparison is order-insensitive.
+func (e *Entry) canonicalize() {
+	sort.Slice(e.NextHops, func(i, j int) bool {
+		if e.NextHops[i].IP != e.NextHops[j].IP {
+			return e.NextHops[i].IP < e.NextHops[j].IP
+		}
+		return e.NextHops[i].Interface < e.NextHops[j].Interface
+	})
+}
+
+// FIB is a device's forwarding table.
+type FIB struct {
+	t *trie.Trie[*Entry]
+	// Capacity limits the number of entries; 0 means unlimited. When full,
+	// Install's behaviour depends on the device firmware — the FIB itself
+	// just reports ErrFull (the §2 load-balancer incident arises from a
+	// firmware that silently ignores this error).
+	Capacity int
+}
+
+// ErrFull is returned by Install when the FIB is at capacity.
+var ErrFull = fmt.Errorf("rib: FIB capacity exceeded")
+
+// NewFIB returns an empty forwarding table with unlimited capacity.
+func NewFIB() *FIB { return &FIB{t: trie.New[*Entry]()} }
+
+// Len returns the number of installed prefixes.
+func (f *FIB) Len() int { return f.t.Len() }
+
+// Install adds or replaces the entry for e.Prefix. Replacing never fails;
+// adding a new prefix to a full table returns ErrFull.
+func (f *FIB) Install(e *Entry) error {
+	e.canonicalize()
+	if _, exists := f.t.Get(e.Prefix); !exists && f.Capacity > 0 && f.t.Len() >= f.Capacity {
+		return ErrFull
+	}
+	f.t.Insert(e.Prefix, e)
+	return nil
+}
+
+// Remove deletes the entry for p, reporting whether it was present.
+func (f *FIB) Remove(p netpkt.Prefix) bool { return f.t.Delete(p) }
+
+// Get returns the entry for exactly p.
+func (f *FIB) Get(p netpkt.Prefix) (*Entry, bool) { return f.t.Get(p) }
+
+// Lookup performs longest-prefix match for ip.
+func (f *FIB) Lookup(ip netpkt.IP) (*Entry, bool) {
+	_, e, ok := f.t.Lookup(ip)
+	return e, ok
+}
+
+// Walk visits entries in ascending prefix order.
+func (f *FIB) Walk(fn func(*Entry) bool) {
+	f.t.Walk(func(_ netpkt.Prefix, e *Entry) bool { return fn(e) })
+}
+
+// Snapshot returns a deep copy of all entries, sorted by prefix — the
+// payload of the paper's PullStates API.
+func (f *FIB) Snapshot() Snapshot {
+	out := make(Snapshot, 0, f.t.Len())
+	f.Walk(func(e *Entry) bool {
+		out = append(out, e.Clone())
+		return true
+	})
+	return out
+}
+
+// Snapshot is an ordered dump of a FIB.
+type Snapshot []*Entry
+
+// Len returns the number of entries in the snapshot.
+func (s Snapshot) Len() int { return len(s) }
+
+// String renders the snapshot one entry per line, for debugging and golden
+// comparisons.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, e := range s {
+		fmt.Fprintf(&b, "%s via", e.Prefix)
+		for _, nh := range e.NextHops {
+			fmt.Fprintf(&b, " %s", nh)
+		}
+		fmt.Fprintf(&b, " [%s]\n", e.Proto)
+	}
+	return b.String()
+}
+
+// DiffKind classifies one FIB difference.
+type DiffKind uint8
+
+// Difference kinds reported by Compare.
+const (
+	DiffMissingLeft  DiffKind = iota // prefix only in the right snapshot
+	DiffMissingRight                 // prefix only in the left snapshot
+	DiffNextHops                     // prefix in both, next hops disagree
+)
+
+func (k DiffKind) String() string {
+	switch k {
+	case DiffMissingLeft:
+		return "missing-left"
+	case DiffMissingRight:
+		return "missing-right"
+	case DiffNextHops:
+		return "nexthop-mismatch"
+	}
+	return "unknown"
+}
+
+// Diff is one difference between two snapshots.
+type Diff struct {
+	Kind   DiffKind
+	Prefix netpkt.Prefix
+	Left   *Entry // nil for DiffMissingLeft
+	Right  *Entry // nil for DiffMissingRight
+}
+
+// String formats the difference for reports.
+func (d Diff) String() string {
+	return fmt.Sprintf("%s %s", d.Kind, d.Prefix)
+}
+
+// CompareMode selects how tolerant the comparator is.
+type CompareMode uint8
+
+// Comparator modes.
+const (
+	// Strict requires identical next-hop sets for every prefix.
+	Strict CompareMode = iota
+	// ECMPAware (the §9 comparator) treats a prefix as matching when the two
+	// next-hop sets overlap: BGP implementations choose non-deterministically
+	// among equal candidates when ECMP interacts with aggregation, so any
+	// common choice indicates the same candidate set. Disjoint sets are
+	// still a mismatch.
+	ECMPAware
+)
+
+// Compare diffs two snapshots. The result is sorted by prefix.
+func Compare(left, right Snapshot, mode CompareMode) []Diff {
+	li := indexSnapshot(left)
+	ri := indexSnapshot(right)
+	var out []Diff
+	for p, le := range li {
+		re, ok := ri[p]
+		if !ok {
+			out = append(out, Diff{Kind: DiffMissingRight, Prefix: p, Left: le})
+			continue
+		}
+		if !nextHopsMatch(le.NextHops, re.NextHops, mode) {
+			out = append(out, Diff{Kind: DiffNextHops, Prefix: p, Left: le, Right: re})
+		}
+	}
+	for p, re := range ri {
+		if _, ok := li[p]; !ok {
+			out = append(out, Diff{Kind: DiffMissingLeft, Prefix: p, Right: re})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Prefix, out[j].Prefix
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		if a.Len != b.Len {
+			return a.Len < b.Len
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+func indexSnapshot(s Snapshot) map[netpkt.Prefix]*Entry {
+	m := make(map[netpkt.Prefix]*Entry, len(s))
+	for _, e := range s {
+		m[e.Prefix] = e
+	}
+	return m
+}
+
+func nextHopsMatch(a, b []NextHop, mode CompareMode) bool {
+	switch mode {
+	case Strict:
+		if len(a) != len(b) {
+			return false
+		}
+		as := make(map[NextHop]bool, len(a))
+		for _, nh := range a {
+			as[nh] = true
+		}
+		for _, nh := range b {
+			if !as[nh] {
+				return false
+			}
+		}
+		return true
+	case ECMPAware:
+		if len(a) == 0 && len(b) == 0 {
+			return true
+		}
+		as := make(map[NextHop]bool, len(a))
+		for _, nh := range a {
+			as[nh] = true
+		}
+		for _, nh := range b {
+			if as[nh] {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

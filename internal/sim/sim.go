@@ -1,0 +1,237 @@
+// Package sim provides the discrete-event simulation engine that drives
+// every CrystalNet emulation in this repository.
+//
+// The real CrystalNet runs vendor firmware in wall-clock time on cloud VMs.
+// Here, every component — cloud provisioning, firmware boot, BGP message
+// processing, link propagation — is an event scheduled on a single virtual
+// clock. This makes emulations of thousands of devices deterministic,
+// seedable and fast on a single core, while preserving the latency shape the
+// paper reports (Figures 8 and 9).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the start of
+// the simulation.
+type Time time.Duration
+
+// String formats the virtual time as a duration from simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds returns the virtual time in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Minutes returns the virtual time in minutes.
+func (t Time) Minutes() float64 { return time.Duration(t).Minutes() }
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// event is a scheduled callback.
+type event struct {
+	at     Time
+	seq    uint64 // tie-breaker for deterministic FIFO ordering at equal times
+	fn     func()
+	index  int // heap index, -1 once popped or canceled
+	cancel bool
+}
+
+// eventQueue is a min-heap of events ordered by (time, insertion sequence).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be canceled before it fires.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from running. Canceling an
+// already-fired or already-canceled timer is a no-op. It returns true if the
+// timer was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancel || t.ev.index == -1 {
+		return false
+	}
+	t.ev.cancel = true
+	return true
+}
+
+// Engine is a discrete-event simulator: a virtual clock plus an ordered
+// queue of pending callbacks. It is not safe for concurrent use; CrystalNet
+// emulations are single-threaded by design so that runs are reproducible.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	maxed  bool
+	halted bool
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+// Two engines built with the same seed and fed the same schedule produce
+// identical executions.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source. All randomness in
+// an emulation (boot jitter, failure injection, ECMP seeds) must come from
+// here to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending reports the number of events still queued (including canceled
+// events not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired reports how many events have executed since the engine was created.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is clamped to the current time (the event runs next, after events already
+// queued for the current instant).
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Jitter returns a duration drawn uniformly from [d, d+spread).
+func (e *Engine) Jitter(d, spread time.Duration) time.Duration {
+	if spread <= 0 {
+		return d
+	}
+	return d + time.Duration(e.rng.Int63n(int64(spread)))
+}
+
+// Halt stops the currently running Run/RunUntil/RunFor loop after the
+// in-flight event returns. Pending events remain queued.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the single next event, advancing the clock to its time.
+// It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains (quiescence), Halt is called,
+// or maxEvents fire (0 means no limit). It returns the number of events
+// executed and an error if the event cap was hit — which in an emulation
+// almost always means a routing loop or livelock.
+func (e *Engine) Run(maxEvents uint64) (uint64, error) {
+	e.halted = false
+	var n uint64
+	for !e.halted {
+		if maxEvents > 0 && n >= maxEvents {
+			e.maxed = true
+			return n, fmt.Errorf("sim: event cap %d reached at t=%s (possible livelock)", maxEvents, e.now)
+		}
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n, nil
+}
+
+// RunUntil executes events with time ≤ deadline. Events scheduled beyond the
+// deadline stay queued; the clock is advanced to the deadline if it was
+// reached without draining. It returns the number of events executed.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	e.halted = false
+	var n uint64
+	for !e.halted {
+		if len(e.queue) == 0 {
+			break
+		}
+		if next := e.peekTime(); next > deadline {
+			e.now = deadline
+			return n
+		}
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}
+
+// RunFor executes events for d of virtual time from now.
+func (e *Engine) RunFor(d time.Duration) uint64 {
+	return e.RunUntil(e.now.Add(d))
+}
+
+func (e *Engine) peekTime() Time {
+	// Skip leading canceled events so a far-future canceled timer does not
+	// stall RunUntil.
+	for len(e.queue) > 0 && e.queue[0].cancel {
+		heap.Pop(&e.queue)
+	}
+	if len(e.queue) == 0 {
+		return e.now
+	}
+	return e.queue[0].at
+}

@@ -1,0 +1,288 @@
+package topo
+
+import (
+	"fmt"
+
+	"crystalnet/internal/netpkt"
+)
+
+// ClosSpec parameterizes a layered BGP Clos datacenter fabric in the style
+// of RFC 7938 and the paper's L-DC/M-DC/S-DC networks (Table 3).
+//
+// The fabric is organized as:
+//
+//   - Pods of ToRsPerPod ToRs fully meshed to LeavesPerPod leaves.
+//   - LeavesPerPod spine planes; leaf i of every pod connects to the spines
+//     of plane i within the pod's spine group.
+//   - SpineGroups groups; each group owns SpinesPerPlane spines in every
+//     plane and BordersPerGroup border routers. Pods are assigned to groups
+//     round-robin. Every spine in a group connects to all of the group's
+//     borders.
+//   - Borders peer upward with external WAN devices (outside the fabric);
+//     those become speaker candidates at emulation time.
+//
+// AS plan (RFC 7938 style, matching the paper's §5.2 assumptions): all
+// borders share one AS; all spines share one AS; the leaves of a pod share
+// a per-pod AS; every ToR has a unique AS.
+type ClosSpec struct {
+	Name            string
+	Pods            int
+	ToRsPerPod      int
+	LeavesPerPod    int // = number of spine planes
+	SpineGroups     int
+	SpinesPerPlane  int // per group, per plane
+	BordersPerGroup int
+	// PrefixesPerToR is how many server subnets each ToR originates.
+	PrefixesPerToR int
+	// Vendors by layer; empty means "ctnra".
+	ToRVendor, LeafVendor, SpineVendor, BorderVendor string
+}
+
+// Vendor defaults used when a ClosSpec leaves vendor fields empty. The
+// evaluation setup (§8.1) runs CTNR-B on ToRs and CTNR-A above them.
+const (
+	DefaultToRVendor   = "ctnrb"
+	DefaultUpperVendor = "ctnra"
+)
+
+// AS plan constants.
+const (
+	BorderAS  uint32 = 65000
+	SpineAS   uint32 = 65100
+	podASBase uint32 = 65200 // pod p leaves get podASBase+p
+	torASBase uint32 = 4200000000
+)
+
+// PodAS returns the shared AS of pod p's leaves.
+func PodAS(p int) uint32 { return podASBase + uint32(p) }
+
+// ToRAS returns the unique AS of the i'th ToR overall.
+func ToRAS(i int) uint32 { return torASBase + uint32(i) }
+
+// SDC returns the small-datacenter spec (Table 3 S-DC: O(1) borders,
+// O(1) spines, O(10) leaves, O(100) ToRs, O(50K) routes).
+func SDC() ClosSpec {
+	return ClosSpec{
+		Name: "S-DC", Pods: 8, ToRsPerPod: 12, LeavesPerPod: 2,
+		SpineGroups: 1, SpinesPerPlane: 2, BordersPerGroup: 2,
+		PrefixesPerToR: 1,
+	}
+}
+
+// MDC returns the medium-datacenter spec (Table 3 M-DC: O(10) borders,
+// O(10) spines, O(100) leaves, O(400) ToRs, O(1M) routes).
+func MDC() ClosSpec {
+	return ClosSpec{
+		Name: "M-DC", Pods: 40, ToRsPerPod: 10, LeavesPerPod: 4,
+		SpineGroups: 1, SpinesPerPlane: 4, BordersPerGroup: 4,
+		PrefixesPerToR: 1,
+	}
+}
+
+// LDC returns the large-datacenter spec (Table 3 L-DC: O(10) borders,
+// O(100) spines, O(1000) leaves, O(3000) ToRs, O(20M) routes). A single pod
+// of this fabric sees exactly the Table 4 Case-1 boundary: 4 borders,
+// 64 spines, 4 leaves, 16 ToRs.
+func LDC() ClosSpec {
+	return ClosSpec{
+		Name: "L-DC", Pods: 225, ToRsPerPod: 16, LeavesPerPod: 4,
+		SpineGroups: 2, SpinesPerPlane: 16, BordersPerGroup: 4,
+		PrefixesPerToR: 1,
+	}
+}
+
+// LDCScaled returns the L-DC spec with the pod count divided by factor
+// (minimum 2 pods per spine group), preserving the spine/border shape so
+// boundary experiments keep Table 4's upper-layer counts.
+func LDCScaled(factor int) ClosSpec {
+	s := LDC()
+	if factor > 1 {
+		s.Pods = s.Pods / factor
+		if s.Pods < 2*s.SpineGroups {
+			s.Pods = 2 * s.SpineGroups
+		}
+		s.Name = fmt.Sprintf("L-DC/%d", factor)
+	}
+	return s
+}
+
+// NumDevices returns the total device count the spec will generate.
+func (s ClosSpec) NumDevices() int {
+	return s.Pods*(s.ToRsPerPod+s.LeavesPerPod) +
+		s.SpineGroups*(s.LeavesPerPod*s.SpinesPerPlane+s.BordersPerGroup)
+}
+
+// EstimatedRoutes estimates the total number of routing-table entries across
+// all switches once converged (Table 3's #Routes column): every device holds
+// a route for every originated server prefix and every loopback.
+func (s ClosSpec) EstimatedRoutes() int {
+	dests := s.Pods*s.ToRsPerPod*s.PrefixesPerToR + s.NumDevices()
+	return dests * s.NumDevices()
+}
+
+// GenerateClos builds the fabric. Device names follow production-style
+// conventions: tor-p3-7 (pod 3, index 7), leaf-p3-0, spine-g1-pl2-5
+// (group 1, plane 2, index 5), border-g1-2.
+func GenerateClos(spec ClosSpec) *Network {
+	if spec.ToRVendor == "" {
+		spec.ToRVendor = DefaultToRVendor
+	}
+	if spec.LeafVendor == "" {
+		spec.LeafVendor = DefaultUpperVendor
+	}
+	if spec.SpineVendor == "" {
+		spec.SpineVendor = DefaultUpperVendor
+	}
+	if spec.BorderVendor == "" {
+		spec.BorderVendor = DefaultUpperVendor
+	}
+	n := NewNetwork(spec.Name)
+
+	// Borders and spines per group.
+	borders := make([][]*Device, spec.SpineGroups)
+	spines := make([][][]*Device, spec.SpineGroups) // [group][plane][i]
+	for g := 0; g < spec.SpineGroups; g++ {
+		for b := 0; b < spec.BordersPerGroup; b++ {
+			d := n.AddDevice(fmt.Sprintf("border-g%d-%d", g, b), LayerBorder, BorderAS, spec.BorderVendor)
+			d.Group = g
+			borders[g] = append(borders[g], d)
+		}
+		spines[g] = make([][]*Device, spec.LeavesPerPod)
+		for pl := 0; pl < spec.LeavesPerPod; pl++ {
+			for i := 0; i < spec.SpinesPerPlane; i++ {
+				d := n.AddDevice(fmt.Sprintf("spine-g%d-pl%d-%d", g, pl, i), LayerSpine, SpineAS, spec.SpineVendor)
+				d.Group = g
+				spines[g][pl] = append(spines[g][pl], d)
+				// Spine connects to every border of its group.
+				for _, bd := range borders[g] {
+					n.Connect(d, bd)
+				}
+			}
+		}
+	}
+
+	// Pods.
+	torIndex := 0
+	serverBase := uint32(netpkt.IPFromBytes(100, 64, 0, 0)) // /24s from 100.64/10
+	for p := 0; p < spec.Pods; p++ {
+		g := p % spec.SpineGroups
+		leaves := make([]*Device, spec.LeavesPerPod)
+		for l := 0; l < spec.LeavesPerPod; l++ {
+			d := n.AddDevice(fmt.Sprintf("leaf-p%d-%d", p, l), LayerLeaf, PodAS(p), spec.LeafVendor)
+			d.Pod, d.Group = p, g
+			leaves[l] = d
+			// Leaf l connects to all spines of plane l in the pod's group.
+			for _, sp := range spines[g][l] {
+				n.Connect(d, sp)
+			}
+		}
+		for t := 0; t < spec.ToRsPerPod; t++ {
+			d := n.AddDevice(fmt.Sprintf("tor-p%d-%d", p, t), LayerToR, ToRAS(torIndex), spec.ToRVendor)
+			d.Pod, d.Group = p, g
+			for i := 0; i < spec.PrefixesPerToR; i++ {
+				d.Originated = append(d.Originated, netpkt.Prefix{Addr: netpkt.IP(serverBase), Len: 24})
+				serverBase += 256
+			}
+			torIndex++
+			for _, lf := range leaves {
+				n.Connect(d, lf)
+			}
+		}
+	}
+	return n
+}
+
+// AttachWAN adds external WAN devices above the borders: per border group,
+// wanPerGroup external routers each connected to every border in the group.
+// These model the upstream devices outside the administrative domain; the
+// boundary search treats them as speaker candidates. They are given distinct
+// external ASes.
+func AttachWAN(n *Network, spec ClosSpec, wanPerGroup int) []*Device {
+	var wans []*Device
+	asn := uint32(64600)
+	for g := 0; g < spec.SpineGroups; g++ {
+		var groupBorders []*Device
+		for _, d := range n.DevicesByLayer(LayerBorder) {
+			if d.Group == g {
+				groupBorders = append(groupBorders, d)
+			}
+		}
+		for w := 0; w < wanPerGroup; w++ {
+			wd := n.AddDevice(fmt.Sprintf("wan-g%d-%d", g, w), LayerExternal, asn, "external")
+			asn++
+			wans = append(wans, wd)
+			for _, bd := range groupBorders {
+				n.Connect(wd, bd)
+			}
+		}
+	}
+	return wans
+}
+
+// RegionSpec parameterizes the §7 Case-1 scenario: multiple datacenters in
+// a region, joined today through legacy WAN cores, migrating to a new
+// regional backbone that bypasses the WAN.
+type RegionSpec struct {
+	Name            string
+	DCs             int      // datacenters in the region
+	DCSpec          ClosSpec // fabric of each DC (only spines+borders emulated in the case study)
+	BackboneRouters int      // new regional backbone
+	WANCores        int      // legacy WAN cores
+}
+
+// GenerateRegion builds the region: every DC border connects to every
+// backbone router and every WAN core. DC devices are named with a dc<i>-
+// prefix.
+func GenerateRegion(spec RegionSpec) *Network {
+	n := NewNetwork(spec.Name)
+	var backbones, cores []*Device
+	for b := 0; b < spec.BackboneRouters; b++ {
+		backbones = append(backbones, n.AddDevice(fmt.Sprintf("rbb-%d", b), LayerBackbone, 64900, "vmb"))
+	}
+	for w := 0; w < spec.WANCores; w++ {
+		cores = append(cores, n.AddDevice(fmt.Sprintf("wan-core-%d", w), LayerWAN, 64950+uint32(w), "vmb"))
+	}
+	for dc := 0; dc < spec.DCs; dc++ {
+		sub := GenerateClos(spec.DCSpec)
+		merge(n, sub, fmt.Sprintf("dc%d-", dc), uint32(dc)*1000, uint32(dc)<<20)
+		for _, d := range n.Devices() {
+			if d.Layer == LayerBorder && d.Pod == -1 && hasPrefix(d.Name, fmt.Sprintf("dc%d-", dc)) {
+				for _, bb := range backbones {
+					n.Connect(d, bb)
+				}
+				for _, wc := range cores {
+					n.Connect(d, wc)
+				}
+			}
+		}
+	}
+	for _, bb := range backbones {
+		for _, wc := range cores {
+			n.Connect(bb, wc)
+		}
+	}
+	return n
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// merge copies sub's devices and links into n with a name prefix, an AS
+// offset (so multiple DCs keep distinct pod/ToR AS numbers) and an origin
+// address offset (so server prefixes never collide across DCs).
+func merge(n *Network, sub *Network, prefix string, asOffset, originOffset uint32) {
+	mapping := map[*Device]*Device{}
+	for _, d := range sub.Devices() {
+		// Keep globally-shared ASes (border/spine) per-DC distinct as well:
+		// each DC is its own administrative fabric.
+		nd := n.AddDevice(prefix+d.Name, d.Layer, d.ASN+asOffset, d.Vendor)
+		nd.Pod, nd.Group = d.Pod, d.Group
+		for _, p := range d.Originated {
+			nd.Originated = append(nd.Originated, netpkt.Prefix{Addr: p.Addr + netpkt.IP(originOffset), Len: p.Len})
+		}
+		mapping[d] = nd
+	}
+	for _, l := range sub.Links {
+		na, nb := mapping[l.A.Device], mapping[l.B.Device]
+		n.Connect(na, nb)
+	}
+}

@@ -1,0 +1,229 @@
+// Package trie implements a binary (Patricia-style, path-compressed) trie
+// over IPv4 prefixes. It is the storage core for every RIB and FIB in the
+// emulator: insert, delete, exact match, longest-prefix match and ordered
+// walks, all allocation-lean so that L-DC-scale tables (Table 3: O(20M)
+// entries across the fabric) stay affordable.
+package trie
+
+import (
+	"crystalnet/internal/netpkt"
+)
+
+// node is a trie node. Leaf-ness is "has a value"; internal nodes may also
+// carry values (a /16 above a /24).
+type node[V any] struct {
+	prefix   netpkt.Prefix
+	children [2]*node[V]
+	value    V
+	hasValue bool
+}
+
+// Trie maps IPv4 prefixes to values of type V.
+// The zero value is NOT ready to use; call New.
+type Trie[V any] struct {
+	root *node[V]
+	size int
+}
+
+// New returns an empty trie.
+func New[V any]() *Trie[V] {
+	return &Trie[V]{root: &node[V]{prefix: netpkt.Prefix{Addr: 0, Len: 0}}}
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// bitAt returns bit i (0 = most significant) of addr.
+func bitAt(addr netpkt.IP, i uint8) int {
+	return int(addr>>(31-i)) & 1
+}
+
+// commonPrefixLen returns the length of the longest common prefix of a and b,
+// capped at maxLen.
+func commonPrefixLen(a, b netpkt.IP, maxLen uint8) uint8 {
+	var n uint8
+	for n < maxLen && bitAt(a, n) == bitAt(b, n) {
+		n++
+	}
+	return n
+}
+
+// Insert adds or replaces the value for prefix p. It returns true if the
+// prefix was newly added, false if an existing value was replaced.
+func (t *Trie[V]) Insert(p netpkt.Prefix, v V) bool {
+	p.Addr &= p.MaskIP()
+	n := t.root
+	for {
+		if n.prefix.Len == p.Len && n.prefix.Addr == p.Addr {
+			added := !n.hasValue
+			n.value, n.hasValue = v, true
+			if added {
+				t.size++
+			}
+			return added
+		}
+		// p extends below n.
+		dir := bitAt(p.Addr, n.prefix.Len)
+		child := n.children[dir]
+		if child == nil {
+			n.children[dir] = &node[V]{prefix: p, value: v, hasValue: true}
+			t.size++
+			return true
+		}
+		// How much of child's prefix does p share?
+		common := commonPrefixLen(p.Addr, child.prefix.Addr, min8(p.Len, child.prefix.Len))
+		if common == child.prefix.Len {
+			// p lies below child; descend.
+			n = child
+			continue
+		}
+		if common == p.Len {
+			// p is an ancestor of child: splice p in between n and child.
+			mid := &node[V]{prefix: p, value: v, hasValue: true}
+			mid.children[bitAt(child.prefix.Addr, p.Len)] = child
+			n.children[dir] = mid
+			t.size++
+			return true
+		}
+		// Diverge: create a glue node at the common length.
+		glue := &node[V]{prefix: netpkt.Prefix{Addr: p.Addr & maskFor(common), Len: common}}
+		glue.children[bitAt(child.prefix.Addr, common)] = child
+		leaf := &node[V]{prefix: p, value: v, hasValue: true}
+		glue.children[bitAt(p.Addr, common)] = leaf
+		n.children[dir] = glue
+		t.size++
+		return true
+	}
+}
+
+func maskFor(l uint8) netpkt.IP {
+	if l == 0 {
+		return 0
+	}
+	return netpkt.IP(^uint32(0) << (32 - l))
+}
+
+func min8(a, b uint8) uint8 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Get returns the value stored for exactly prefix p.
+func (t *Trie[V]) Get(p netpkt.Prefix) (V, bool) {
+	p.Addr &= p.MaskIP()
+	n := t.root
+	for n != nil {
+		if n.prefix.Len > p.Len || n.prefix.Addr != p.Addr&maskFor(n.prefix.Len) {
+			var zero V
+			return zero, false
+		}
+		if n.prefix.Len == p.Len {
+			if n.prefix.Addr == p.Addr && n.hasValue {
+				return n.value, true
+			}
+			var zero V
+			return zero, false
+		}
+		n = n.children[bitAt(p.Addr, n.prefix.Len)]
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete removes prefix p. It returns true if the prefix was present.
+// Structural glue nodes are left in place; they are cheap and simplify
+// deletion, and tables in the emulator are rebuilt wholesale on reload.
+func (t *Trie[V]) Delete(p netpkt.Prefix) bool {
+	p.Addr &= p.MaskIP()
+	n := t.root
+	for n != nil {
+		if n.prefix.Len == p.Len && n.prefix.Addr == p.Addr {
+			if !n.hasValue {
+				return false
+			}
+			var zero V
+			n.value, n.hasValue = zero, false
+			t.size--
+			return true
+		}
+		if n.prefix.Len >= p.Len {
+			return false
+		}
+		n = n.children[bitAt(p.Addr, n.prefix.Len)]
+	}
+	return false
+}
+
+// Lookup performs longest-prefix match for ip, returning the most specific
+// covering prefix and its value.
+func (t *Trie[V]) Lookup(ip netpkt.IP) (netpkt.Prefix, V, bool) {
+	var (
+		bestP netpkt.Prefix
+		bestV V
+		found bool
+		n     = t.root
+	)
+	for n != nil {
+		if n.prefix.Addr != ip&maskFor(n.prefix.Len) {
+			break
+		}
+		if n.hasValue {
+			bestP, bestV, found = n.prefix, n.value, true
+		}
+		if n.prefix.Len == 32 {
+			break
+		}
+		n = n.children[bitAt(ip, n.prefix.Len)]
+	}
+	return bestP, bestV, found
+}
+
+// Walk visits every stored prefix in ascending (address, length) order.
+// Returning false from fn stops the walk.
+func (t *Trie[V]) Walk(fn func(p netpkt.Prefix, v V) bool) {
+	t.walk(t.root, fn)
+}
+
+func (t *Trie[V]) walk(n *node[V], fn func(p netpkt.Prefix, v V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.hasValue {
+		if !fn(n.prefix, n.value) {
+			return false
+		}
+	}
+	if !t.walk(n.children[0], fn) {
+		return false
+	}
+	return t.walk(n.children[1], fn)
+}
+
+// WalkCovered visits every stored prefix contained in p (including p itself).
+func (t *Trie[V]) WalkCovered(p netpkt.Prefix, fn func(q netpkt.Prefix, v V) bool) {
+	p.Addr &= p.MaskIP()
+	n := t.root
+	// Descend to the node region covering p.
+	for n != nil && n.prefix.Len < p.Len {
+		if n.prefix.Addr != p.Addr&maskFor(n.prefix.Len) {
+			return
+		}
+		n = n.children[bitAt(p.Addr, n.prefix.Len)]
+	}
+	if n == nil || !p.ContainsPrefix(n.prefix) {
+		return
+	}
+	t.walk(n, fn)
+}
+
+// Prefixes returns all stored prefixes in walk order.
+func (t *Trie[V]) Prefixes() []netpkt.Prefix {
+	out := make([]netpkt.Prefix, 0, t.size)
+	t.Walk(func(p netpkt.Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
