@@ -4,16 +4,30 @@
 //
 // Usage:
 //
-//	crystalbench [-reps N] [-ldcscale N] [-quick] [-only table1,figure8,...]
+//	crystalbench [-reps N] [-ldcscale N] [-quick] [-workers N]
+//	             [-only table1,figure8,...] [-json]
+//	             [-cpuprofile FILE] [-memprofile FILE]
 //
 // -quick runs a reduced sweep (fewer repetitions, no M-DC/L-DC in the
 // latency figures). -ldcscale divides L-DC's pod count; 1 attempts the full
-// 4636-device fabric (needs tens of GB of RAM).
+// 4636-device fabric (needs tens of GB of RAM). -workers bounds the worker
+// pool that fans independent emulation runs across cores (0 = GOMAXPROCS).
+// -json emits the raw experiment structs as one JSON object instead of the
+// formatted tables. -cpuprofile / -memprofile write pprof profiles covering
+// the selected experiments, so perf work is reproducible without editing
+// code:
+//
+//	crystalbench -only figure8 -quick -cpuprofile cpu.prof
+//	go tool pprof -top cpu.prof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"crystalnet/internal/experiments"
@@ -23,8 +37,26 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per Figure 8 configuration (paper: 10)")
 	ldcScale := flag.Int("ldcscale", 8, "L-DC downscale divisor (1 = full fabric)")
 	quick := flag.Bool("quick", false, "reduced sweep: S-DC only, 2 reps")
-	only := flag.String("only", "", "comma-separated subset: table1,figure1,figure7,table3,figure8,figure9,sec83,table4")
+	workers := flag.Int("workers", 0, "worker pool size for independent emulation runs (0 = GOMAXPROCS)")
+	only := flag.String("only", "", "comma-separated subset: table1,figure1,figure7,table3,figure8,figure9,sec83,table4,sec9")
+	jsonOut := flag.Bool("json", false, "emit raw experiment structs as JSON instead of formatted tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to `file`")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the runs) to `file`")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crystalbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "crystalbench: start CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -35,47 +67,91 @@ func main() {
 	run := func(key string) bool { return len(want) == 0 || want[key] }
 	section := func(title string) { fmt.Printf("\n==== %s ====\n\n", title) }
 
+	// With -json, collect every selected experiment's raw structs here and
+	// emit a single object at the end.
+	raw := map[string]any{}
+	emit := func(key, title, formatted string, value any) {
+		if *jsonOut {
+			raw[key] = value
+			return
+		}
+		section(title)
+		fmt.Print(formatted)
+	}
+
 	if run("table1") {
-		section("Table 1 — incident root causes: emulation vs verification coverage")
-		fmt.Print(experiments.FormatTable1(experiments.Table1()))
+		rows := experiments.Table1()
+		emit("table1", "Table 1 — incident root causes: emulation vs verification coverage",
+			experiments.FormatTable1(rows), rows)
 	}
 	if run("figure1") {
-		section("Figure 1 — vendor-divergent IP aggregation: traffic imbalance at R8")
-		fmt.Print(experiments.FormatFigure1(experiments.Figure1(200)))
+		r := experiments.Figure1(200)
+		emit("figure1", "Figure 1 — vendor-divergent IP aggregation: traffic imbalance at R8",
+			experiments.FormatFigure1(r), r)
 	}
 	if run("figure7") {
-		section("Figure 7 — safe vs unsafe static boundaries")
-		fmt.Print(experiments.FormatFigure7(experiments.Figure7()))
+		r := experiments.Figure7()
+		emit("figure7", "Figure 7 — safe vs unsafe static boundaries",
+			experiments.FormatFigure7(r), r)
 	}
 	if run("table3") {
-		section("Table 3 — evaluation datacenter fabrics")
-		fmt.Print(experiments.FormatTable3(experiments.Table3()))
+		rows := experiments.Table3()
+		emit("table3", "Table 3 — evaluation datacenter fabrics",
+			experiments.FormatTable3(rows), rows)
 	}
 	if run("figure8") {
-		section("Figure 8 — mockup / network-ready / route-ready / clear latencies")
-		cfg := experiments.Figure8Config{Reps: *reps, LDCScale: *ldcScale}
+		cfg := experiments.Figure8Config{Reps: *reps, LDCScale: *ldcScale, Workers: *workers}
 		if *quick {
 			cfg.Reps, cfg.SkipMDC, cfg.SkipLDC = 2, true, true
 		}
-		fmt.Print(experiments.FormatFigure8(experiments.Figure8(cfg)))
-		fmt.Println("\n(virtual-time measurements on the simulated cloud; L-DC runs at 1/",
-			*ldcScale, "pod scale unless -ldcscale=1)")
+		points := experiments.Figure8(cfg)
+		note := fmt.Sprintf("\n(virtual-time measurements on the simulated cloud; L-DC runs at 1/%d pod scale unless -ldcscale=1)\n", *ldcScale)
+		emit("figure8", "Figure 8 — mockup / network-ready / route-ready / clear latencies",
+			experiments.FormatFigure8(points)+note, points)
 	}
 	if run("figure9") {
-		section("Figure 9 — p95 per-VM CPU utilization during Mockup (by minute)")
-		fmt.Print(experiments.FormatFigure9(experiments.Figure9(*ldcScale, *quick)))
+		series := experiments.Figure9(*ldcScale, *quick, *workers)
+		emit("figure9", "Figure 9 — p95 per-VM CPU utilization during Mockup (by minute)",
+			experiments.FormatFigure9(series), series)
 	}
 	if run("sec83") {
-		section("§8.3 — reload latency (two-layer vs strawman) and VM recovery")
-		fmt.Print(experiments.FormatSec83(experiments.Sec83()))
+		r := experiments.Sec83()
+		emit("sec83", "§8.3 — reload latency (two-layer vs strawman) and VM recovery",
+			experiments.FormatSec83(r), r)
 	}
 	if run("table4") {
-		section("Table 4 — safe-boundary emulation scales in L-DC")
-		fmt.Print(experiments.FormatTable4(experiments.Table4()))
+		rows := experiments.Table4(*workers)
+		emit("table4", "Table 4 — safe-boundary emulation scales in L-DC",
+			experiments.FormatTable4(rows), rows)
 	}
 	if run("sec9") {
-		section("§9 — FIB cross-validation: strict vs ECMP-aware comparator")
-		fmt.Print(experiments.FormatCrossValidate(experiments.CrossValidate()))
+		r := experiments.CrossValidate(*workers)
+		emit("sec9", "§9 — FIB cross-validation: strict vs ECMP-aware comparator",
+			experiments.FormatCrossValidate(r), r)
 	}
-	fmt.Println()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(raw); err != nil {
+			fmt.Fprintf(os.Stderr, "crystalbench: -json: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println()
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crystalbench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "crystalbench: write heap profile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -193,6 +193,12 @@ type Attrs struct {
 	Atomic    bool // ATOMIC_AGGREGATE
 	AggAS     uint32
 	AggID     netpkt.IP // AGGREGATOR
+
+	// ekey memoizes the attrsKey fingerprint ("" = not yet computed). Attrs
+	// are allocated per engine and immutable once shared, so the memo is
+	// filled at most once; any code that copies-and-mutates an Attrs must
+	// reset it.
+	ekey string
 }
 
 // EffectiveLocalPref returns LOCAL_PREF or the conventional default 100.
@@ -207,6 +213,7 @@ func (a *Attrs) EffectiveLocalPref() uint32 {
 func (a *Attrs) WithNextHop(nh netpkt.IP) *Attrs {
 	c := *a
 	c.NextHop = nh
+	c.ekey = ""
 	return &c
 }
 
@@ -214,6 +221,7 @@ func (a *Attrs) WithNextHop(nh netpkt.IP) *Attrs {
 func (a *Attrs) WithPath(p *ASPath) *Attrs {
 	c := *a
 	c.Path = p
+	c.ekey = ""
 	return &c
 }
 

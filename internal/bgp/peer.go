@@ -3,6 +3,7 @@ package bgp
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"crystalnet/internal/netpkt"
 )
@@ -65,8 +66,19 @@ type Peer struct {
 	adjIn map[netpkt.Prefix]*Attrs
 	// advertised maps prefix -> attrsKey of what was last announced.
 	advertised map[netpkt.Prefix]string
-	dirty      map[netpkt.Prefix]bool
+	// The dirty set is a bitset addressed by ribEntry.id plus the insertion-
+	// order list of prefixes to visit at the next flush; marking a prefix
+	// dirty on every peer is on the decide hot path, and the bit test is far
+	// cheaper than a map assignment.
+	dirtyBits  []uint64
+	dirtyList  []netpkt.Prefix
 	flushTimer Timer
+	// exportCache memoizes exportRoute per best-path attrs; valid only when
+	// exportCacheOK (prefix-independent export policy).
+	exportCache   map[*Attrs]exportVal
+	exportCacheOK bool
+	// staleScratch is reused by reset to withdraw learned routes.
+	staleScratch []netpkt.Prefix
 
 	// Counters for monitoring and the CPU model.
 	MsgsIn, MsgsOut       uint64
@@ -83,20 +95,34 @@ func (p *Peer) AdjInLen() int { return len(p.adjIn) }
 // peer.
 func (p *Peer) AdvertisedLen() int { return len(p.advertised) }
 
-// connGen hands out process-unique connection generations; DES execution
-// is single-threaded, so a plain counter suffices and stays deterministic.
-var connGen uint32
+// exportVal is one memoized exportRoute outcome.
+type exportVal struct {
+	attrs *Attrs
+	ok    bool
+}
+
+// connGen hands out process-unique connection generations. Each engine is
+// single-threaded, but the experiment harness runs independent engines on
+// parallel goroutines and only generation *equality* matters to the
+// protocol, so an atomic counter keeps behaviour identical while staying
+// race-free.
+var connGen atomic.Uint32
 
 // Start initiates the session (sends OPEN) unless the peer is passive.
 func (p *Peer) Start() {
 	if p.state != StateIdle {
 		return
 	}
-	connGen++
-	p.localGen = connGen
-	p.adjIn = map[netpkt.Prefix]*Attrs{}
-	p.advertised = map[netpkt.Prefix]string{}
-	p.dirty = map[netpkt.Prefix]bool{}
+	p.localGen = connGen.Add(1)
+	if p.adjIn == nil {
+		p.adjIn = map[netpkt.Prefix]*Attrs{}
+		p.advertised = map[netpkt.Prefix]string{}
+	} else {
+		clear(p.adjIn)
+		clear(p.advertised)
+	}
+	p.clearDirty()
+	p.exportCache = nil
 	if p.Config.Passive {
 		return
 	}
@@ -106,8 +132,7 @@ func (p *Peer) Start() {
 
 func (p *Peer) sendOpen() {
 	if p.localGen == 0 {
-		connGen++
-		p.localGen = connGen
+		p.localGen = connGen.Add(1)
 	}
 	p.send(MarshalOpen(&Open{
 		AS:       p.router.cfg.AS,
@@ -151,12 +176,22 @@ func (p *Peer) reset(reason string) {
 		p.flushTimer.Cancel()
 		p.flushTimer = nil
 	}
-	adj := p.adjIn
-	p.adjIn = map[netpkt.Prefix]*Attrs{}
-	p.advertised = map[netpkt.Prefix]string{}
-	p.dirty = map[netpkt.Prefix]bool{}
+	if p.adjIn == nil {
+		// A session can reset (and even re-establish) without Start ever
+		// having run on this side; make sure the RIB maps exist.
+		p.adjIn = map[netpkt.Prefix]*Attrs{}
+		p.advertised = map[netpkt.Prefix]string{}
+	}
+	p.staleScratch = p.staleScratch[:0]
+	for pfx := range p.adjIn {
+		p.staleScratch = append(p.staleScratch, pfx)
+	}
+	clear(p.adjIn)
+	clear(p.advertised)
+	p.clearDirty()
+	p.exportCache = nil
 	p.setState(StateIdle)
-	for pfx := range adj {
+	for _, pfx := range p.staleScratch {
 		p.router.removeCandidate(pfx, p)
 	}
 }
@@ -235,7 +270,7 @@ func (p *Peer) establish() {
 	p.setState(StateEstablished)
 	for pfx, e := range p.router.locRIB {
 		if len(e.best) > 0 {
-			p.dirty[pfx] = true
+			p.markDirty(pfx, e)
 		}
 	}
 	p.scheduleFlush()
@@ -285,13 +320,43 @@ func (p *Peer) handleUpdate(u *Update) {
 	}
 }
 
-// markDirty queues a prefix for (re-)advertisement at the next flush.
-func (p *Peer) markDirty(pfx netpkt.Prefix) {
+// SetExportPolicy replaces the peer's export policy at runtime (an operator
+// route-map edit), drops the export memo it invalidates, and queues every
+// usable prefix for re-evaluation so withdraws and new announcements flow at
+// the next flush.
+func (p *Peer) SetExportPolicy(pol *Policy) {
+	p.Config.ExportPolicy = pol
+	p.exportCache = nil
+	p.exportCacheOK = pol.prefixIndependent()
+	for pfx, e := range p.router.locRIB {
+		if len(e.best) > 0 {
+			p.markDirty(pfx, e)
+		}
+	}
+}
+
+// markDirty queues a prefix for (re-)advertisement at the next flush. The
+// entry's dense id addresses the peer's dirty bitset.
+func (p *Peer) markDirty(pfx netpkt.Prefix, e *ribEntry) {
 	if p.state != StateEstablished {
 		return
 	}
-	p.dirty[pfx] = true
+	w, bit := uint(e.id)>>6, uint64(1)<<(uint(e.id)&63)
+	for uint(len(p.dirtyBits)) <= w {
+		p.dirtyBits = append(p.dirtyBits, 0)
+	}
+	if p.dirtyBits[w]&bit != 0 {
+		return
+	}
+	p.dirtyBits[w] |= bit
+	p.dirtyList = append(p.dirtyList, pfx)
 	p.scheduleFlush()
+}
+
+// clearDirty empties the dirty set, retaining its storage.
+func (p *Peer) clearDirty() {
+	clear(p.dirtyBits)
+	p.dirtyList = p.dirtyList[:0]
 }
 
 func (p *Peer) scheduleFlush() {
@@ -306,8 +371,8 @@ func (p *Peer) scheduleFlush() {
 // respect the 4096-byte cap).
 func (p *Peer) flush() {
 	p.flushTimer = nil
-	if p.state != StateEstablished || len(p.dirty) == 0 {
-		p.dirty = map[netpkt.Prefix]bool{}
+	if p.state != StateEstablished || len(p.dirtyList) == 0 {
+		p.clearDirty()
 		return
 	}
 	var withdrawals []netpkt.Prefix
@@ -317,7 +382,7 @@ func (p *Peer) flush() {
 	}
 	groups := map[string]*group{}
 
-	for pfx := range p.dirty {
+	for _, pfx := range p.dirtyList {
 		attrs, ok := p.router.exportRoute(p, pfx)
 		if !ok {
 			if _, adv := p.advertised[pfx]; adv {
@@ -338,7 +403,7 @@ func (p *Peer) flush() {
 		}
 		g.prefixes = append(g.prefixes, pfx)
 	}
-	p.dirty = map[netpkt.Prefix]bool{}
+	p.clearDirty()
 
 	// Deterministic wire order: sorted withdrawals, then groups by key.
 	if len(withdrawals) > 0 {

@@ -122,6 +122,7 @@ func (r *Rule) rewrite(a *Attrs) *Attrs {
 		return a
 	}
 	c := *a
+	c.ekey = ""
 	if r.SetLocalPref != nil {
 		c.LocalPref, c.HasLP = *r.SetLocalPref, true
 	}
@@ -132,6 +133,22 @@ func (r *Rule) rewrite(a *Attrs) *Attrs {
 		c.Path = c.Path.Prepend(r.PrependAS)
 	}
 	return &c
+}
+
+// prefixIndependent reports whether the policy's verdict and rewrites depend
+// only on a route's attributes, never on its prefix. Such policies allow the
+// per-peer export cache to key on the best-path attrs alone.
+func (pol *Policy) prefixIndependent() bool {
+	if pol == nil {
+		return true
+	}
+	for i := range pol.Rules {
+		m := &pol.Rules[i].Match
+		if m.Prefix != nil || m.OddThirdOctet24 {
+			return false
+		}
+	}
+	return true
 }
 
 // String renders the policy in a config-like form.

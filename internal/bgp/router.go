@@ -72,7 +72,9 @@ type Hooks struct {
 	// InstallRoute programs the FIB. An error is logged; the route stays in
 	// the RIB (mirroring firmware that keeps RIB state when FIB programming
 	// fails — the §2 black-hole incident comes from a vendor hook that
-	// swallows this error silently).
+	// swallows this error silently). nhs is only valid for the duration of
+	// the call: implementations must copy it if they retain it (the router
+	// reuses the backing array on the next FIB reprogram).
 	InstallRoute func(p netpkt.Prefix, nhs []rib.NextHop) error
 	// RemoveRoute removes a previously installed route.
 	RemoveRoute func(p netpkt.Prefix)
@@ -91,6 +93,9 @@ type candidate struct {
 
 // ribEntry is the per-prefix Loc-RIB state.
 type ribEntry struct {
+	// id is a dense, stable index assigned at creation; peers use it to
+	// address their dirty bitsets without hashing the prefix.
+	id         int
 	candidates []candidate
 	// best holds the indices of the current multipath winners;
 	// best[0] is the primary best path (the one advertised).
@@ -114,6 +119,14 @@ type Router struct {
 
 	locRIB map[netpkt.Prefix]*ribEntry
 	seq    uint64
+	nextID int
+	// prependCache memoizes Prepend(cfg.AS) per source path: every export
+	// through this router prepends the same AS, so the per-export path
+	// allocation collapses to a map hit. Bounded; cleared when full.
+	prependCache map[*ASPath]*ASPath
+	// nhScratch is the reusable buffer nextHops fills on every decide; the
+	// hops are copied out only when they actually change.
+	nhScratch []rib.NextHop
 
 	// aggState tracks whether each configured aggregate is currently active
 	// and with which attribute set.
@@ -123,6 +136,9 @@ type Router struct {
 type aggState struct {
 	spec   AggregateSpec
 	active bool
+	// covered indexes the Loc-RIB entries under the aggregate's range, so
+	// re-evaluating the aggregate no longer scans the whole Loc-RIB.
+	covered map[netpkt.Prefix]*ribEntry
 }
 
 // New creates a router. Defaults: MaxPaths 1, MRAI 50ms.
@@ -139,7 +155,11 @@ func New(cfg Config, clock Clock, hooks Hooks) *Router {
 	if hooks.SessionEvent == nil {
 		hooks.SessionEvent = func(int, SessionState) {}
 	}
-	r := &Router{cfg: cfg, clock: clock, hooks: hooks, locRIB: map[netpkt.Prefix]*ribEntry{}}
+	r := &Router{
+		cfg: cfg, clock: clock, hooks: hooks,
+		locRIB:       map[netpkt.Prefix]*ribEntry{},
+		prependCache: map[*ASPath]*ASPath{},
+	}
 	for _, a := range cfg.Aggregates {
 		r.aggState = append(r.aggState, aggState{spec: a})
 	}
@@ -153,10 +173,11 @@ func (r *Router) Config() Config { return r.cfg }
 // call StartPeer once the transport is ready.
 func (r *Router) AddPeer(cfg PeerConfig) *Peer {
 	p := &Peer{
-		router: r,
-		Index:  len(r.peers),
-		Config: cfg,
-		state:  StateIdle,
+		router:        r,
+		Index:         len(r.peers),
+		Config:        cfg,
+		state:         StateIdle,
+		exportCacheOK: cfg.ExportPolicy.prefixIndependent(),
 	}
 	r.peers = append(r.peers, p)
 	return p
@@ -241,8 +262,18 @@ func (r *Router) Prefixes() []netpkt.Prefix {
 func (r *Router) upsertCandidate(p netpkt.Prefix, peer *Peer, a *Attrs) {
 	e := r.locRIB[p]
 	if e == nil {
-		e = &ribEntry{}
+		e = &ribEntry{id: r.nextID}
+		r.nextID++
 		r.locRIB[p] = e
+		for i := range r.aggState {
+			st := &r.aggState[i]
+			if st.spec.Prefix != p && st.spec.Prefix.ContainsPrefix(p) {
+				if st.covered == nil {
+					st.covered = map[netpkt.Prefix]*ribEntry{}
+				}
+				st.covered[p] = e
+			}
+		}
 	}
 	r.seq++
 	for i := range e.candidates {
@@ -362,19 +393,24 @@ func (r *Router) decide(p netpkt.Prefix, e *ribEntry) {
 		}
 	}
 
-	// Program the FIB.
+	// Program the FIB. nextHops fills a scratch buffer; on a change the
+	// entry's own installed slice is reused (the hook contract forbids the
+	// callee from retaining nhs, so no per-change copy is needed).
 	hops := r.nextHops(e)
 	if !hopsEqual(hops, prevHops) {
 		if len(hops) == 0 {
 			if len(prevHops) > 0 && r.hooks.RemoveRoute != nil {
 				r.hooks.RemoveRoute(p)
 			}
-		} else if r.hooks.InstallRoute != nil {
-			if err := r.hooks.InstallRoute(p, hops); err != nil {
-				r.hooks.Logf("bgp %s: FIB install %s failed: %v", r.cfg.Name, p, err)
+			e.installed = e.installed[:0]
+		} else {
+			e.installed = append(e.installed[:0], hops...)
+			if r.hooks.InstallRoute != nil {
+				if err := r.hooks.InstallRoute(p, e.installed); err != nil {
+					r.hooks.Logf("bgp %s: FIB install %s failed: %v", r.cfg.Name, p, err)
+				}
 			}
 		}
-		e.installed = hops
 	}
 
 	// Re-advertise if the exported view changed.
@@ -382,7 +418,7 @@ func (r *Router) decide(p netpkt.Prefix, e *ribEntry) {
 	e.lastBest = newBestAttrs
 	if prevBestAttrs != newBestAttrs {
 		for _, peer := range r.peers {
-			peer.markDirty(p)
+			peer.markDirty(p, e)
 		}
 	}
 
@@ -400,9 +436,10 @@ func (r *Router) primaryAttrs(e *ribEntry) *Attrs {
 
 // nextHops maps the best candidate set to FIB next hops. Locally originated
 // routes have no next hops to program (they are connected/static in the FIB
-// already).
+// already). The returned slice aliases the router's scratch buffer and is
+// only valid until the next call.
 func (r *Router) nextHops(e *ribEntry) []rib.NextHop {
-	var out []rib.NextHop
+	out := r.nhScratch[:0]
 	for _, i := range e.best {
 		c := &e.candidates[i]
 		if c.peer == nil {
@@ -410,6 +447,7 @@ func (r *Router) nextHops(e *ribEntry) []rib.NextHop {
 		}
 		out = append(out, rib.NextHop{IP: c.attrs.NextHop, Interface: c.peer.Config.Interface})
 	}
+	r.nhScratch = out
 	return out
 }
 
@@ -432,7 +470,7 @@ func (r *Router) updateAggregates(p netpkt.Prefix) {
 		if !st.spec.Prefix.ContainsPrefix(p) || st.spec.Prefix == p {
 			continue
 		}
-		attrs, nContrib := r.buildAggregate(st.spec)
+		attrs, nContrib := r.buildAggregate(st)
 		if nContrib > 0 {
 			// Only touch the RIB when the aggregate's attributes actually
 			// changed, to avoid re-advertisement churn.
@@ -441,13 +479,13 @@ func (r *Router) updateAggregates(p netpkt.Prefix) {
 				r.upsertCandidate(st.spec.Prefix, nil, attrs)
 			}
 			if st.spec.SummaryOnly {
-				r.setSuppression(st.spec, true)
+				r.setSuppression(st, true)
 			}
 		} else if st.active {
 			st.active = false
 			r.removeCandidate(st.spec.Prefix, nil)
 			if st.spec.SummaryOnly {
-				r.setSuppression(st.spec, false)
+				r.setSuppression(st, false)
 			}
 		}
 	}
@@ -467,13 +505,16 @@ func (r *Router) localCandidate(p netpkt.Prefix) (*Attrs, bool) {
 	return nil, false
 }
 
-// buildAggregate scans the Loc-RIB for contributors and builds the
-// aggregate's attributes per the configured vendor mode.
-func (r *Router) buildAggregate(spec AggregateSpec) (*Attrs, int) {
+// buildAggregate walks the aggregate's coverage index for contributors and
+// builds the aggregate's attributes per the configured vendor mode. Ties
+// between equally good contributors break towards the lowest prefix so the
+// selection is independent of map iteration order.
+func (r *Router) buildAggregate(st *aggState) (*Attrs, int) {
 	var selected *candidate
+	var selectedP netpkt.Prefix
 	n := 0
-	for p, e := range r.locRIB {
-		if p == spec.Prefix || !spec.Prefix.ContainsPrefix(p) || len(e.best) == 0 {
+	for p, e := range st.covered {
+		if len(e.best) == 0 {
 			continue
 		}
 		c := &e.candidates[e.best[0]]
@@ -481,8 +522,9 @@ func (r *Router) buildAggregate(spec AggregateSpec) (*Attrs, int) {
 			continue
 		}
 		n++
-		if selected == nil || r.better(c, selected) {
-			selected = c
+		if selected == nil || r.better(c, selected) ||
+			(!r.better(selected, c) && prefixLess(p, selectedP)) {
+			selected, selectedP = c, p
 		}
 	}
 	if n == 0 {
@@ -503,28 +545,54 @@ func (r *Router) buildAggregate(spec AggregateSpec) (*Attrs, int) {
 
 // setSuppression flips the suppressed flag of contributors under a
 // summary-only aggregate, queueing re-advertisement where it changed.
-func (r *Router) setSuppression(spec AggregateSpec, suppress bool) {
-	for p, e := range r.locRIB {
-		if p == spec.Prefix || !spec.Prefix.ContainsPrefix(p) {
-			continue
-		}
+func (r *Router) setSuppression(st *aggState, suppress bool) {
+	for p, e := range st.covered {
 		if e.suppressed != suppress {
 			e.suppressed = suppress
 			for _, peer := range r.peers {
-				peer.markDirty(p)
+				peer.markDirty(p, e)
 			}
 		}
 	}
 }
 
+// maxExportCache bounds each peer's export memo; maxPrependCache bounds the
+// router's path-prepend memo. Both are cleared wholesale when full — the
+// working sets in even L-DC mockups sit far below these limits.
+const (
+	maxExportCache  = 8192
+	maxPrependCache = 8192
+)
+
 // exportRoute computes what to announce to peer for prefix p. ok=false
 // means "withdraw / do not advertise".
+//
+// When the peer's export policy is prefix-independent, the result is a pure
+// function of the best candidate's attrs (the attrs pointer also fixes the
+// source peer, which the split-horizon and loop checks depend on), so it is
+// memoized per peer keyed on that pointer.
 func (r *Router) exportRoute(peer *Peer, p netpkt.Prefix) (*Attrs, bool) {
 	e := r.locRIB[p]
 	if e == nil || len(e.best) == 0 || e.suppressed {
 		return nil, false
 	}
 	best := &e.candidates[e.best[0]]
+	if peer.exportCacheOK {
+		if v, hit := peer.exportCache[best.attrs]; hit {
+			return v.attrs, v.ok
+		}
+	}
+	a, ok := r.exportRouteSlow(peer, p, best)
+	if peer.exportCacheOK {
+		if peer.exportCache == nil || len(peer.exportCache) >= maxExportCache {
+			peer.exportCache = make(map[*Attrs]exportVal, 64)
+		}
+		peer.exportCache[best.attrs] = exportVal{attrs: a, ok: ok}
+	}
+	return a, ok
+}
+
+func (r *Router) exportRouteSlow(peer *Peer, p netpkt.Prefix, best *candidate) (*Attrs, bool) {
 	// Split horizon: never reflect a route to the peer it came from.
 	if best.peer == peer {
 		return nil, false
@@ -545,19 +613,49 @@ func (r *Router) exportRoute(peer *Peer, p netpkt.Prefix) (*Attrs, bool) {
 	// eBGP transformations: prepend own AS, next-hop-self, strip LOCAL_PREF,
 	// strip MED unless locally originated.
 	c := *out
-	c.Path = c.Path.Prepend(r.cfg.AS)
+	c.Path = r.prependOwn(c.Path)
 	c.NextHop = peer.Config.LocalIP
 	c.HasLP, c.LocalPref = false, 0
 	if best.peer != nil {
 		c.HasMED, c.MED = false, 0
 	}
+	c.ekey = ""
 	return &c, true
 }
 
-// attrsKey returns a compact binary fingerprint of exported attributes,
-// used to group prefixes sharing one UPDATE.
+// prependOwn returns path with the router's own AS prepended, memoized per
+// source path pointer (the prepended AS is the same for every export).
+func (r *Router) prependOwn(path *ASPath) *ASPath {
+	if np, ok := r.prependCache[path]; ok {
+		return np
+	}
+	np := path.Prepend(r.cfg.AS)
+	if len(r.prependCache) >= maxPrependCache {
+		clear(r.prependCache)
+	}
+	r.prependCache[path] = np
+	return np
+}
+
+func prefixLess(a, b netpkt.Prefix) bool {
+	if a.Addr != b.Addr {
+		return a.Addr < b.Addr
+	}
+	return a.Len < b.Len
+}
+
+// attrsKey returns a compact binary fingerprint of exported attributes, used
+// to group prefixes sharing one UPDATE. The fingerprint is memoized on the
+// Attrs (it is never empty: the origin and next-hop bytes are unconditional).
 func attrsKey(a *Attrs) string {
-	var b []byte
+	if a.ekey == "" {
+		a.ekey = computeAttrsKey(a)
+	}
+	return a.ekey
+}
+
+func computeAttrsKey(a *Attrs) string {
+	b := make([]byte, 0, 24)
 	b = append(b, byte(a.Origin))
 	var tmp [4]byte
 	binary.BigEndian.PutUint32(tmp[:], uint32(a.NextHop))

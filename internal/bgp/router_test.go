@@ -56,7 +56,7 @@ func (n *tnet) add(name string, as uint32, mutate func(*Config)) *tnode {
 			if nd.installErr != nil {
 				return nd.installErr
 			}
-			nd.fib[p] = nhs
+			nd.fib[p] = append([]rib.NextHop(nil), nhs...)
 			return nil
 		},
 		RemoveRoute: func(p netpkt.Prefix) { delete(nd.fib, p) },
@@ -491,8 +491,7 @@ func TestExportPolicyChangeTriggersWithdraw(t *testing.T) {
 		t.Fatal("setup failed")
 	}
 	// Operator applies a deny-all export policy and the router re-flushes.
-	pab.Config.ExportPolicy = DenyAll
-	pab.markDirty(p)
+	pab.SetExportPolicy(DenyAll)
 	n.run()
 	if _, ok := b.r.BestRoute(p); ok {
 		t.Fatal("route not withdrawn after policy change")

@@ -743,17 +743,36 @@ func (em *Emulation) Clear(onDone func()) {
 	if em.healthTick != nil {
 		em.healthTick.Cancel()
 	}
-	for _, d := range em.Devices {
-		d.Stop("clear")
+	// Iterate in sorted order everywhere below: teardown consumes engine RNG
+	// (the per-VM clear jitter), and drawing it in map-iteration order would
+	// make Clear latency differ between identically-seeded runs.
+	devNames := make([]string, 0, len(em.Devices))
+	for n := range em.Devices {
+		devNames = append(devNames, n)
 	}
+	sort.Strings(devNames)
+	for _, n := range devNames {
+		em.Devices[n].Stop("clear")
+	}
+	boxNames := make([]string, 0, len(em.vmOf))
+	for n := range em.vmOf {
+		boxNames = append(boxNames, n)
+	}
+	sort.Strings(boxNames)
 	byVM := map[*cloud.VM]int{}
-	for name, vm := range em.vmOf {
+	var vmOrder []*cloud.VM
+	for _, name := range boxNames {
+		vm := em.vmOf[name]
+		if byVM[vm] == 0 {
+			vmOrder = append(vmOrder, vm)
+		}
 		byVM[vm]++
 		host := em.Fabric.Host(vm.Name)
 		host.RemoveContainer(name)
 	}
 	pending := 0
-	for vm, boxes := range byVM {
+	for _, vm := range vmOrder {
+		boxes := byVM[vm]
 		pending++
 		vm := vm
 		fixed := em.orch.Eng.Jitter(clearFixed, clearJitter)

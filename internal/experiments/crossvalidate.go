@@ -9,6 +9,7 @@ import (
 	"crystalnet/internal/core"
 	"crystalnet/internal/firmware"
 	"crystalnet/internal/netpkt"
+	"crystalnet/internal/parallel"
 	"crystalnet/internal/rib"
 	"crystalnet/internal/topo"
 )
@@ -79,14 +80,33 @@ func runForFIBs(seed int64, limitLeafECMP bool) (*core.Emulation, map[string]rib
 	return em, em.PullFIBs()
 }
 
-// CrossValidate runs the comparisons.
-func CrossValidate() CrossValidateResult {
+// CrossValidate runs the comparisons. An optional workers argument bounds
+// the pool fanning the three independent emulation runs across cores
+// (default GOMAXPROCS).
+func CrossValidate(workers ...int) CrossValidateResult {
 	res := CrossValidateResult{}
 
+	w := 0
+	if len(workers) > 0 {
+		w = workers[0]
+	}
+	type run struct {
+		em   *core.Emulation
+		fibs map[string]rib.Snapshot
+	}
 	// Two runs, different seeds: boot order differs, so the arrival-order
-	// tie-break picks different single paths on the ToRs.
-	_, fibsA := runForFIBs(101, true)
-	_, fibsB := runForFIBs(202, true)
+	// tie-break picks different single paths on the ToRs. The third is the
+	// healthy fabric compared against the idealized verifier below. Each is
+	// an independent engine, so they fan across the pool.
+	seeds := []struct {
+		seed  int64
+		limit bool
+	}{{101, true}, {202, true}, {303, false}}
+	runs := parallel.Map(len(seeds), w, func(i int) run {
+		em, fibs := runForFIBs(seeds[i].seed, seeds[i].limit)
+		return run{em: em, fibs: fibs}
+	})
+	fibsA, fibsB := runs[0].fibs, runs[1].fibs
 	for name := range fibsA {
 		res.StrictDiffs += len(rib.Compare(bgpOnly(fibsA[name]), bgpOnly(fibsB[name]), rib.Strict))
 		res.ECMPAwareDiffs += len(rib.Compare(bgpOnly(fibsA[name]), bgpOnly(fibsB[name]), rib.ECMPAware))
@@ -94,7 +114,7 @@ func CrossValidate() CrossValidateResult {
 
 	// Healthy fabric vs the idealized verifier, restricted to ToR server
 	// prefixes (config-derived state on both sides).
-	em, fibs := runForFIBs(303, false)
+	em, fibs := runs[2].em, runs[2].fibs
 	ideal := batfish.Simulate(em.Network(), em.Configs())
 	var torPrefixes []netpkt.Prefix
 	for _, d := range em.Network().DevicesByLayer(topo.LayerToR) {

@@ -6,6 +6,7 @@ import (
 
 	"crystalnet/internal/cloud"
 	"crystalnet/internal/core"
+	"crystalnet/internal/parallel"
 	"crystalnet/internal/topo"
 )
 
@@ -74,6 +75,10 @@ type Figure8Config struct {
 	SkipLDC bool
 	// SkipMDC drops the medium fabric too (smoke runs).
 	SkipMDC bool
+	// Workers bounds the worker pool fanning reps across cores; <= 0 means
+	// GOMAXPROCS. Each rep is an independent engine with its own seed, so
+	// results are identical at any pool size.
+	Workers int
 }
 
 // Figure8Point is one bar group of Figure 8: a DC size at a VM budget.
@@ -115,25 +120,42 @@ func Figure8(cfg Figure8Config) []Figure8Point {
 		sweeps = append(sweeps, sweep{ldc, []int{d*500/4636 + 1, d*1000/4636 + 1}})
 	}
 
-	var out []Figure8Point
+	// Flatten the sweep into one job per (config, rep): every job is an
+	// independent engine, so the pool can run them in any order while the
+	// results land at their job index and aggregation stays deterministic.
+	type job struct {
+		spec topo.ClosSpec
+		vms  int
+		seed int64
+	}
+	var jobs []job
 	for _, s := range sweeps {
 		for _, vms := range s.vms {
-			var nr, rr, mu, cl []time.Duration
-			var devices, actualVMs int
 			for rep := 0; rep < cfg.Reps; rep++ {
-				r := runMockupOnce(s.spec, vms, int64(1000+rep))
-				nr = append(nr, r.Metrics.NetworkReady)
-				rr = append(rr, r.Metrics.RouteReady)
-				mu = append(mu, r.Metrics.Mockup)
-				cl = append(cl, r.Clear)
-				devices, actualVMs = r.Devices, r.VMs
+				jobs = append(jobs, job{spec: s.spec, vms: vms, seed: int64(1000 + rep)})
 			}
-			out = append(out, Figure8Point{
-				DC: s.spec.Name, Devices: devices, VMs: actualVMs, Reps: cfg.Reps,
-				NetworkReady: percentiles(nr), RouteReady: percentiles(rr),
-				Mockup: percentiles(mu), Clear: percentiles(cl),
-			})
 		}
+	}
+	results := parallel.Map(len(jobs), cfg.Workers, func(i int) RunResult {
+		return runMockupOnce(jobs[i].spec, jobs[i].vms, jobs[i].seed)
+	})
+
+	var out []Figure8Point
+	for base := 0; base < len(jobs); base += cfg.Reps {
+		var nr, rr, mu, cl []time.Duration
+		var devices, actualVMs int
+		for _, r := range results[base : base+cfg.Reps] {
+			nr = append(nr, r.Metrics.NetworkReady)
+			rr = append(rr, r.Metrics.RouteReady)
+			mu = append(mu, r.Metrics.Mockup)
+			cl = append(cl, r.Clear)
+			devices, actualVMs = r.Devices, r.VMs
+		}
+		out = append(out, Figure8Point{
+			DC: jobs[base].spec.Name, Devices: devices, VMs: actualVMs, Reps: cfg.Reps,
+			NetworkReady: percentiles(nr), RouteReady: percentiles(rr),
+			Mockup: percentiles(mu), Clear: percentiles(cl),
+		})
 	}
 	return out
 }
@@ -161,8 +183,10 @@ type Figure9Series struct {
 
 // Figure9 measures the 95th-percentile per-VM CPU utilization minute by
 // minute during Mockup for each DC size — the paper's Figure 9 curves
-// (early plumbing+boot burst, then a long convergence tail).
-func Figure9(ldcScale int, skipLarge bool) []Figure9Series {
+// (early plumbing+boot burst, then a long convergence tail). An optional
+// workers argument bounds the pool fanning the DC sizes across cores
+// (default GOMAXPROCS).
+func Figure9(ldcScale int, skipLarge bool, workers ...int) []Figure9Series {
 	if ldcScale <= 0 {
 		ldcScale = 8
 	}
@@ -176,15 +200,18 @@ func Figure9(ldcScale int, skipLarge bool) []Figure9Series {
 		ldc := topo.LDCScaled(ldcScale)
 		cases = append(cases, cse{ldc, ldc.NumDevices()*500/4636 + 1})
 	}
-	var out []Figure9Series
-	for _, c := range cases {
+	w := 0
+	if len(workers) > 0 {
+		w = workers[0]
+	}
+	return parallel.Map(len(cases), w, func(i int) Figure9Series {
+		c := cases[i]
 		r := runMockupOnce(c.spec, c.vms, 99)
-		out = append(out, Figure9Series{
+		return Figure9Series{
 			DC: c.spec.Name, VMs: r.VMs, MinutesP95: r.CPUByMinute,
 			CostPerHour: float64(r.VMs) * cloud.SKUStandard.PricePerHour,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // FormatFigure9 renders each curve as a sparkline-ish row of percentages.

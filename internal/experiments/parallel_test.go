@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFigure8ParallelDeterminism checks the tentpole's contract: the worker
+// pool only redistributes independent engines, so the sweep's results are
+// value-identical at any pool size for the same seeds.
+func TestFigure8ParallelDeterminism(t *testing.T) {
+	base := Figure8Config{Reps: 2, SkipMDC: true, SkipLDC: true}
+
+	serialCfg := base
+	serialCfg.Workers = 1
+	serial := Figure8(serialCfg)
+
+	poolCfg := base
+	poolCfg.Workers = 4
+	pooled := Figure8(poolCfg)
+
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Fatalf("parallel harness diverged from serial run:\nworkers=1: %+v\nworkers=4: %+v", serial, pooled)
+	}
+}
+
+// TestFigure8RepeatDeterminism re-runs the identical sweep twice in one
+// process: results must match run for run. This guards against behaviour
+// leaking through process-global state (the historical offender was Clear
+// drawing per-VM jitter in map-iteration order).
+func TestFigure8RepeatDeterminism(t *testing.T) {
+	cfg := Figure8Config{Reps: 2, SkipMDC: true, SkipLDC: true, Workers: 1}
+	first := Figure8(cfg)
+	second := Figure8(cfg)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("two identical serial runs diverged:\n1st: %+v\n2nd: %+v", first, second)
+	}
+}
+
+// TestTable4ParallelDeterminism covers the same contract for the boundary
+// computations, which regenerate the topology per job.
+func TestTable4ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("L-DC boundary computation is slow")
+	}
+	serial := Table4(1)
+	pooled := Table4(4)
+	if !reflect.DeepEqual(serial, pooled) {
+		t.Fatalf("Table4 diverged:\nworkers=1: %+v\nworkers=4: %+v", serial, pooled)
+	}
+}

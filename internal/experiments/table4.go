@@ -5,6 +5,7 @@ import (
 
 	"crystalnet/internal/boundary"
 	"crystalnet/internal/cloud"
+	"crystalnet/internal/parallel"
 	"crystalnet/internal/topo"
 )
 
@@ -27,26 +28,45 @@ type Table4Row struct {
 // Table4 runs Algorithm 1 for the paper's two common validation cases on
 // the full L-DC topology — changing one pod, and changing the whole spine
 // layer — and reports the resulting emulation scales and cost reductions
-// (the paper's Table 4 plus the 94-96% claim of §1).
-func Table4() []Table4Row {
-	n := topo.GenerateClos(topo.LDC())
-	full := fullScale(n)
-
-	var out []Table4Row
-	// Case 1: one pod.
-	var pod []string
-	for _, d := range n.DevicesInPod(0) {
-		pod = append(pod, d.Name)
+// (the paper's Table 4 plus the 94-96% claim of §1). An optional workers
+// argument bounds the pool fanning the three boundary computations across
+// cores (default GOMAXPROCS); each job regenerates the deterministic L-DC
+// topology so jobs share no state.
+func Table4(workers ...int) []Table4Row {
+	w := 0
+	if len(workers) > 0 {
+		w = workers[0]
 	}
-	out = append(out, boundaryCase(n, "One Pod", pod, full))
-
-	// Case 2: the whole spine layer.
-	var spines []string
-	for _, d := range n.DevicesByLayer(topo.LayerSpine) {
-		spines = append(spines, d.Name)
+	type result struct {
+		row  Table4Row
+		full fullFootprint
 	}
-	out = append(out, boundaryCase(n, "All Spines", spines, full))
-	return out
+	results := parallel.Map(3, w, func(i int) result {
+		n := topo.GenerateClos(topo.LDC())
+		switch i {
+		case 0:
+			return result{full: fullScale(n)}
+		case 1:
+			var pod []string
+			for _, d := range n.DevicesInPod(0) {
+				pod = append(pod, d.Name)
+			}
+			return result{row: boundaryCase(n, "One Pod", pod)}
+		default:
+			var spines []string
+			for _, d := range n.DevicesByLayer(topo.LayerSpine) {
+				spines = append(spines, d.Name)
+			}
+			return result{row: boundaryCase(n, "All Spines", spines)}
+		}
+	})
+	full := results[0].full
+	rows := []Table4Row{results[1].row, results[2].row}
+	for i := range rows {
+		rows[i].FullVMs, rows[i].FullCost = full.vms, full.cost
+		rows[i].CostReduction = 1 - rows[i].CostPerHourUSD/full.cost
+	}
+	return rows
 }
 
 type fullFootprint struct {
@@ -69,7 +89,7 @@ func fullScale(n *topo.Network) fullFootprint {
 	return fullFootprint{vms: s.VMs, cost: float64(s.VMs) * cloud.SKUStandard.PricePerHour}
 }
 
-func boundaryCase(n *topo.Network, name string, must []string, full fullFootprint) Table4Row {
+func boundaryCase(n *topo.Network, name string, must []string) Table4Row {
 	emu, err := boundary.FindSafeDCBoundary(n, must)
 	if err != nil {
 		panic(err)
@@ -90,8 +110,6 @@ func boundaryCase(n *topo.Network, name string, must []string, full fullFootprin
 		Speakers:   s.Speakers,
 		Proportion: s.Proportion,
 		VMs:        s.VMs, CostPerHourUSD: cost,
-		FullVMs: full.vms, FullCost: full.cost,
-		CostReduction: 1 - cost/full.cost,
 	}
 }
 

@@ -464,7 +464,7 @@ func (d *Device) installBGPRoute(p netpkt.Prefix, nhs []rib.NextHop) error {
 		d.logf("BUG default-route: skipped programming %s", p)
 		return nil
 	}
-	err := d.fib.Install(&rib.Entry{Prefix: p, Proto: rib.ProtoBGP, NextHops: nhs})
+	err := d.fib.InstallHops(p, rib.ProtoBGP, nhs)
 	if err == nil {
 		d.LastFIBChange = d.eng.Now()
 	}
@@ -496,7 +496,7 @@ func (d *Device) startOSPF() {
 	d.osp = ospf.New(ospf.Config{Name: d.Name, RouterID: d.cfg.RouterID}, ospfClock{d.eng}, ospf.Hooks{
 		Send: d.sendOSPF,
 		InstallRoute: func(p netpkt.Prefix, nhs []rib.NextHop) error {
-			return d.fib.Install(&rib.Entry{Prefix: p, Proto: rib.ProtoOSPF, NextHops: nhs})
+			return d.fib.InstallHops(p, rib.ProtoOSPF, nhs)
 		},
 		RemoveRoute: func(p netpkt.Prefix) { d.fib.Remove(p) },
 		Logf:        func(f string, a ...any) { d.logf(f, a...) },

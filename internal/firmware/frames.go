@@ -31,12 +31,12 @@ func (d *Device) sendBGP(peerIdx int, data []byte) {
 		return
 	}
 	d.BGPUpdatesSent++
-	pkt := &netpkt.IPv4Packet{
+	pkt := netpkt.IPv4Packet{
 		TTL: 64, Protocol: netpkt.ProtoTCP,
 		Src: local.Addr, Dst: dst,
 		Payload: data,
 	}
-	d.sendIP(iface, dst, pkt.Marshal())
+	d.sendIPFrame(iface, dst, pkt.MarshalFramed(netpkt.EthernetHeaderLen))
 }
 
 // sendOSPF transmits an OSPF packet out the instance's interface idx. dst 0
@@ -56,7 +56,7 @@ func (d *Device) sendOSPF(ospfIdx int, _ netpkt.IP, data []byte) {
 	if !ok {
 		return
 	}
-	pkt := &netpkt.IPv4Packet{
+	pkt := netpkt.IPv4Packet{
 		TTL: 1, Protocol: netpkt.ProtoOSPF,
 		Src: local.Addr, Dst: netpkt.IPFromBytes(224, 0, 0, 5),
 		Payload: data,
@@ -65,28 +65,30 @@ func (d *Device) sendOSPF(ospfIdx int, _ netpkt.IP, data []byte) {
 	if vi == nil {
 		return
 	}
-	frame := &netpkt.EthernetFrame{
-		Dst: netpkt.BroadcastMAC, Src: vi.MAC,
-		EtherType: netpkt.EtherTypeIPv4, Payload: pkt.Marshal(),
-	}
-	d.fabric.Send(vi, frame.Marshal())
+	frame := pkt.MarshalFramed(netpkt.EthernetHeaderLen)
+	netpkt.PutEthernetHeader(frame, netpkt.BroadcastMAC, vi.MAC, netpkt.EtherTypeIPv4)
+	d.fabric.Send(vi, frame)
 }
 
-// sendIP routes an IP packet out the given interface towards an on-link
-// next hop, resolving its MAC via ARP (queueing while unresolved).
-func (d *Device) sendIP(iface string, nextHop netpkt.IP, ipPkt []byte) {
+// sendIPFrame routes an IP packet out the given interface towards an on-link
+// next hop, resolving its MAC via ARP (queueing while unresolved). frame is
+// a single buffer holding the encoded IP packet at offset EthernetHeaderLen;
+// the Ethernet header in front is filled in here once the MAC is known, so
+// the whole send path costs one allocation. Ownership of frame passes to the
+// fabric (or to the ARP pending queue).
+func (d *Device) sendIPFrame(iface string, nextHop netpkt.IP, frame []byte) {
 	vi := d.container.Iface(iface)
 	if vi == nil {
 		return
 	}
 	mac, ok := d.arp[nextHop]
 	if !ok {
-		d.arpPending[nextHop] = append(d.arpPending[nextHop], ipPkt)
+		d.arpPending[nextHop] = append(d.arpPending[nextHop], frame)
 		d.requestARP(iface, nextHop, 0)
 		return
 	}
-	frame := &netpkt.EthernetFrame{Dst: mac, Src: vi.MAC, EtherType: netpkt.EtherTypeIPv4, Payload: ipPkt}
-	d.fabric.Send(vi, frame.Marshal())
+	netpkt.PutEthernetHeader(frame, mac, vi.MAC, netpkt.EtherTypeIPv4)
+	d.fabric.Send(vi, frame)
 }
 
 // requestARP broadcasts an ARP request for target, retrying a few times.
@@ -216,14 +218,14 @@ func (d *Device) learnARP(ip netpkt.IP, mac netpkt.MAC) {
 		return
 	}
 	delete(d.arpPending, ip)
-	// Re-route each queued packet now that the next hop resolves. The
+	// Re-route each queued frame now that the next hop resolves. The
 	// egress interface is recomputed (the FIB may have moved meanwhile).
-	for _, pkt := range pending {
+	for _, frame := range pending {
 		iface := d.ifaceForOnLink(ip)
 		if iface == "" {
 			continue
 		}
-		d.sendIP(iface, ip, pkt)
+		d.sendIPFrame(iface, ip, frame)
 	}
 }
 
@@ -273,7 +275,7 @@ func (d *Device) emitForward(ip *netpkt.IPv4Packet, dec dataplane.Decision) {
 	if nh == 0 {
 		nh = ip.Dst // directly connected destination
 	}
-	d.sendIP(dec.Egress, nh, out.Marshal())
+	d.sendIPFrame(dec.Egress, nh, out.MarshalFramed(netpkt.EthernetHeaderLen))
 }
 
 // handleLocal terminates a packet addressed to the device.
@@ -288,7 +290,9 @@ func (d *Device) handleLocal(iface string, ip *netpkt.IPv4Packet) {
 		if peer == nil {
 			return
 		}
-		data := append([]byte(nil), ip.Payload...)
+		// The payload can be retained across the deferred processing without
+		// a copy: fabric frame buffers are never recycled (see Fabric.Send).
+		data := ip.Payload
 		// Control-plane processing consumes VM CPU: base cost plus
 		// per-route cost approximated from message size.
 		work := d.Image.MsgWork + d.Image.RouteWork*float64(len(data))/5
@@ -304,7 +308,7 @@ func (d *Device) handleLocal(iface string, ip *netpkt.IPv4Packet) {
 			return
 		}
 		if idx, ok := d.ospfIfaces[iface]; ok {
-			data := append([]byte(nil), ip.Payload...)
+			data := ip.Payload
 			src := ip.Src
 			epoch := d.epoch
 			d.submit(d.Image.MsgWork, func() {
@@ -339,7 +343,7 @@ func (d *Device) sendFromSelf(ip *netpkt.IPv4Packet) {
 	if nh == 0 {
 		nh = ip.Dst
 	}
-	d.sendIP(dec.Egress, nh, ip.Marshal())
+	d.sendIPFrame(dec.Egress, nh, ip.MarshalFramed(netpkt.EthernetHeaderLen))
 }
 
 // InjectPacket originates a telemetry probe from this device (the

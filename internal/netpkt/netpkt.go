@@ -201,12 +201,21 @@ type EthernetFrame struct {
 
 const ethernetHeaderLen = 14
 
+// EthernetHeaderLen is the wire size of an Ethernet II header — the
+// headroom senders reserve when building a frame in a single buffer.
+const EthernetHeaderLen = ethernetHeaderLen
+
+// PutEthernetHeader encodes an Ethernet II header into b[:14].
+func PutEthernetHeader(b []byte, dst, src MAC, etherType uint16) {
+	copy(b[0:6], dst[:])
+	copy(b[6:12], src[:])
+	binary.BigEndian.PutUint16(b[12:14], etherType)
+}
+
 // Marshal encodes the frame to wire bytes.
 func (f *EthernetFrame) Marshal() []byte {
 	b := make([]byte, ethernetHeaderLen+len(f.Payload))
-	copy(b[0:6], f.Dst[:])
-	copy(b[6:12], f.Src[:])
-	binary.BigEndian.PutUint16(b[12:14], f.EtherType)
+	PutEthernetHeader(b, f.Dst, f.Src, f.EtherType)
 	copy(b[14:], f.Payload)
 	return b
 }
@@ -282,19 +291,39 @@ type IPv4Packet struct {
 
 const ipv4HeaderLen = 20
 
+// PutIPv4Header encodes an option-less IPv4 header for a payload of plen
+// bytes into b[:20], computing the checksum. b may be dirty; every header
+// byte is written.
+func PutIPv4Header(b []byte, tos uint8, id uint16, ttl, proto uint8, src, dst IP, plen int) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = tos
+	binary.BigEndian.PutUint16(b[2:4], uint16(ipv4HeaderLen+plen))
+	binary.BigEndian.PutUint16(b[4:6], id)
+	b[6], b[7] = 0, 0 // flags/fragment offset
+	b[8] = ttl
+	b[9] = proto
+	b[10], b[11] = 0, 0 // checksum, computed below
+	binary.BigEndian.PutUint32(b[12:16], uint32(src))
+	binary.BigEndian.PutUint32(b[16:20], uint32(dst))
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:ipv4HeaderLen]))
+}
+
 // Marshal encodes the datagram, computing the header checksum.
 func (p *IPv4Packet) Marshal() []byte {
 	b := make([]byte, ipv4HeaderLen+len(p.Payload))
-	b[0] = 0x45 // version 4, IHL 5
-	b[1] = p.TOS
-	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
-	binary.BigEndian.PutUint16(b[4:6], p.ID)
-	b[8] = p.TTL
-	b[9] = p.Protocol
-	binary.BigEndian.PutUint32(b[12:16], uint32(p.Src))
-	binary.BigEndian.PutUint32(b[16:20], uint32(p.Dst))
-	binary.BigEndian.PutUint16(b[10:12], Checksum(b[:ipv4HeaderLen]))
+	PutIPv4Header(b, p.TOS, p.ID, p.TTL, p.Protocol, p.Src, p.Dst, len(p.Payload))
 	copy(b[ipv4HeaderLen:], p.Payload)
+	return b
+}
+
+// MarshalFramed encodes the datagram like Marshal, but leaves room bytes of
+// headroom in front of the IP header, so an outer header (typically
+// Ethernet) can be filled into the same buffer later without re-copying the
+// packet.
+func (p *IPv4Packet) MarshalFramed(room int) []byte {
+	b := make([]byte, room+ipv4HeaderLen+len(p.Payload))
+	PutIPv4Header(b[room:], p.TOS, p.ID, p.TTL, p.Protocol, p.Src, p.Dst, len(p.Payload))
+	copy(b[room+ipv4HeaderLen:], p.Payload)
 	return b
 }
 
@@ -467,11 +496,42 @@ func UnmarshalVXLAN(b []byte) (VXLANHeader, []byte, error) {
 // transport over the underlay, as the paper's virtual links do (§4.2,
 // Figure 5).
 func EncapVXLAN(vni uint32, srcIP, dstIP IP, srcMAC, dstMAC MAC, srcPort uint16, inner []byte) []byte {
-	vx := VXLANHeader{VNI: vni}
-	udp := UDPDatagram{SrcPort: srcPort, DstPort: VXLANPort, Payload: vx.Marshal(inner)}
-	ip := IPv4Packet{TTL: 64, Protocol: ProtoUDP, Src: srcIP, Dst: dstIP, Payload: udp.Marshal()}
-	eth := EthernetFrame{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4, Payload: ip.Marshal()}
-	return eth.Marshal()
+	// Build all four headers into one buffer: encap runs once per cross-VM
+	// frame, so the layer-by-layer Marshal chain (four allocations and
+	// copies) was a measurable slice of the mockup hot path. The wire format
+	// is identical to marshaling each layer separately.
+	total := ethernetHeaderLen + ipv4HeaderLen + udpHeaderLen + vxlanHeaderLen + len(inner)
+	b := make([]byte, total)
+
+	// Outer Ethernet.
+	copy(b[0:6], dstMAC[:])
+	copy(b[6:12], srcMAC[:])
+	binary.BigEndian.PutUint16(b[12:14], EtherTypeIPv4)
+
+	// Outer IPv4 (no options; checksum over the populated header).
+	ip := b[ethernetHeaderLen:]
+	ip[0] = 0x45
+	binary.BigEndian.PutUint16(ip[2:4], uint16(total-ethernetHeaderLen))
+	ip[8] = 64
+	ip[9] = ProtoUDP
+	binary.BigEndian.PutUint32(ip[12:16], uint32(srcIP))
+	binary.BigEndian.PutUint32(ip[16:20], uint32(dstIP))
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:ipv4HeaderLen]))
+
+	// Outer UDP (zero checksum, as Linux VXLAN defaults).
+	udp := ip[ipv4HeaderLen:]
+	binary.BigEndian.PutUint16(udp[0:2], srcPort)
+	binary.BigEndian.PutUint16(udp[2:4], VXLANPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(udpHeaderLen+vxlanHeaderLen+len(inner)))
+
+	// VXLAN header + inner frame.
+	vx := udp[udpHeaderLen:]
+	vx[0] = 0x08 // flags: I bit set
+	vx[4] = byte(vni >> 16)
+	vx[5] = byte(vni >> 8)
+	vx[6] = byte(vni)
+	copy(vx[vxlanHeaderLen:], inner)
+	return b
 }
 
 // DecapVXLAN unwraps a full underlay frame produced by EncapVXLAN, returning

@@ -1,0 +1,64 @@
+// Package parallel provides the bounded worker pool the experiment harness
+// uses to fan independent emulation runs across cores. Every job owns its
+// own sim.Engine, so jobs share no mutable state; the pool only distributes
+// indices and collects results in deterministic (input) order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: n <= 0 means GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run invokes fn(i) for every i in [0, n), using at most workers goroutines.
+// With workers <= 1 (or a single job) everything runs serially on the
+// calling goroutine — no goroutine or channel overhead on 1-core hosts.
+// Run returns once every job has finished.
+func Run(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) across at most workers goroutines and
+// returns the results indexed by i — output order is deterministic no matter
+// how the jobs are scheduled.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	Run(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -296,6 +296,11 @@ func (f *Fabric) SetLinkState(l *VirtualLink, up bool) { l.up = up }
 // Send transmits an Ethernet frame out of the given interface. Delivery is
 // asynchronous on the simulation clock; frames crossing hosts are VXLAN-
 // encapsulated and decapsulated for real.
+//
+// Ownership of frame passes to the fabric: the caller must not modify it
+// after the call, and the payload handed to the receiver may alias it (the
+// receiver may in turn retain that payload — frame buffers are never
+// recycled).
 func (f *Fabric) Send(from *VIface, frame []byte) {
 	l := from.link
 	if l == nil || !l.up {
@@ -329,9 +334,11 @@ func (f *Fabric) Send(from *VIface, frame []byte) {
 			return
 		}
 		f.EncapFrames++
+		// inner aliases enc, a buffer private to this call, so it can be
+		// captured by the delivery closure without another copy.
 		payload = inner
 	}
-	data := append([]byte(nil), payload...)
+	data := payload
 	f.eng.After(latency, func() {
 		if !l.up {
 			f.FramesDropped++

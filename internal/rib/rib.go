@@ -86,18 +86,32 @@ func (e *Entry) Clone() *Entry {
 }
 
 // canonicalize sorts next hops so entry comparison is order-insensitive.
+// ECMP groups are tiny (the fabric's multipath width), so a hand-rolled
+// insertion sort beats sort.Slice's closure machinery on the install path.
 func (e *Entry) canonicalize() {
-	sort.Slice(e.NextHops, func(i, j int) bool {
-		if e.NextHops[i].IP != e.NextHops[j].IP {
-			return e.NextHops[i].IP < e.NextHops[j].IP
+	nhs := e.NextHops
+	for i := 1; i < len(nhs); i++ {
+		for j := i; j > 0 && nhLess(nhs[j], nhs[j-1]); j-- {
+			nhs[j], nhs[j-1] = nhs[j-1], nhs[j]
 		}
-		return e.NextHops[i].Interface < e.NextHops[j].Interface
-	})
+	}
+}
+
+func nhLess(a, b NextHop) bool {
+	if a.IP != b.IP {
+		return a.IP < b.IP
+	}
+	return a.Interface < b.Interface
 }
 
 // FIB is a device's forwarding table.
 type FIB struct {
 	t *trie.Trie[*Entry]
+	// byPrefix mirrors the trie's contents for exact-match operations: a
+	// map probe is several times cheaper than a trie descent, and during
+	// BGP path hunting the same prefix is reprogrammed many times before
+	// the table reaches steady state (see InstallHops).
+	byPrefix map[netpkt.Prefix]*Entry
 	// Capacity limits the number of entries; 0 means unlimited. When full,
 	// Install's behaviour depends on the device firmware — the FIB itself
 	// just reports ErrFull (the §2 load-balancer incident arises from a
@@ -109,27 +123,68 @@ type FIB struct {
 var ErrFull = fmt.Errorf("rib: FIB capacity exceeded")
 
 // NewFIB returns an empty forwarding table with unlimited capacity.
-func NewFIB() *FIB { return &FIB{t: trie.New[*Entry]()} }
+func NewFIB() *FIB {
+	return &FIB{t: trie.New[*Entry](), byPrefix: map[netpkt.Prefix]*Entry{}}
+}
 
 // Len returns the number of installed prefixes.
 func (f *FIB) Len() int { return f.t.Len() }
 
 // Install adds or replaces the entry for e.Prefix. Replacing never fails;
-// adding a new prefix to a full table returns ErrFull.
+// adding a new prefix to a full table returns ErrFull. The FIB owns e after
+// the call.
 func (f *FIB) Install(e *Entry) error {
+	e.Prefix.Addr &= e.Prefix.MaskIP()
 	e.canonicalize()
-	if _, exists := f.t.Get(e.Prefix); !exists && f.Capacity > 0 && f.t.Len() >= f.Capacity {
-		return ErrFull
+	if f.Capacity > 0 && f.t.Len() >= f.Capacity {
+		if _, exists := f.byPrefix[e.Prefix]; !exists {
+			return ErrFull
+		}
 	}
 	f.t.Insert(e.Prefix, e)
+	f.byPrefix[e.Prefix] = e
+	return nil
+}
+
+// InstallHops adds or reprograms the route for p without the caller
+// allocating an Entry: when p is already installed the next hops are copied
+// into the existing entry in place — no allocation and no trie descent —
+// which is the dominant case while BGP hunts paths. nhs is not retained
+// or mutated.
+func (f *FIB) InstallHops(p netpkt.Prefix, proto Proto, nhs []NextHop) error {
+	p.Addr &= p.MaskIP()
+	if e, ok := f.byPrefix[p]; ok {
+		e.Proto = proto
+		e.NextHops = append(e.NextHops[:0], nhs...)
+		e.canonicalize()
+		return nil
+	}
+	if f.Capacity > 0 && f.t.Len() >= f.Capacity {
+		return ErrFull
+	}
+	e := &Entry{Prefix: p, Proto: proto, NextHops: append([]NextHop(nil), nhs...)}
+	e.canonicalize()
+	f.t.Insert(p, e)
+	f.byPrefix[p] = e
 	return nil
 }
 
 // Remove deletes the entry for p, reporting whether it was present.
-func (f *FIB) Remove(p netpkt.Prefix) bool { return f.t.Delete(p) }
+func (f *FIB) Remove(p netpkt.Prefix) bool {
+	p.Addr &= p.MaskIP()
+	if !f.t.Delete(p) {
+		return false
+	}
+	delete(f.byPrefix, p)
+	return true
+}
 
 // Get returns the entry for exactly p.
-func (f *FIB) Get(p netpkt.Prefix) (*Entry, bool) { return f.t.Get(p) }
+func (f *FIB) Get(p netpkt.Prefix) (*Entry, bool) {
+	p.Addr &= p.MaskIP()
+	e, ok := f.byPrefix[p]
+	return e, ok
+}
 
 // Lookup performs longest-prefix match for ip.
 func (f *FIB) Lookup(ip netpkt.IP) (*Entry, bool) {

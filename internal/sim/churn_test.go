@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMassCancelDoesNotBloatQueue is the regression test for the lazily-
+// canceled-timer bloat: canceling must remove the event from the heap
+// immediately, so Pending reports only live events and heap costs do not
+// grow with churn.
+func TestMassCancelDoesNotBloatQueue(t *testing.T) {
+	e := NewEngine(1)
+	const n = 10000
+	timers := make([]*Timer, 0, n)
+	for i := 0; i < n; i++ {
+		timers = append(timers, e.After(time.Duration(i+1)*time.Millisecond, func() {
+			t.Fatal("canceled event fired")
+		}))
+	}
+	if got := e.Pending(); got != n {
+		t.Fatalf("Pending = %d before cancel, want %d", got, n)
+	}
+	for _, tm := range timers {
+		if !tm.Cancel() {
+			t.Fatal("Cancel on a pending timer returned false")
+		}
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after mass cancel, want 0", got)
+	}
+	fired := false
+	e.After(time.Second, func() { fired = true })
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d with one live event, want 1", got)
+	}
+	e.Run(0)
+	if !fired {
+		t.Fatal("live event did not fire")
+	}
+}
+
+// TestStaleTimerHandleCannotCancelReusedEvent guards the free-list design:
+// a handle to an already-fired (recycled) event must not cancel whatever
+// event reuses that slot.
+func TestStaleTimerHandleCannotCancelReusedEvent(t *testing.T) {
+	e := NewEngine(1)
+	first := e.After(time.Millisecond, func() {})
+	e.Run(0)
+	if first.Cancel() {
+		t.Fatal("Cancel after fire returned true")
+	}
+	fired := false
+	e.After(time.Millisecond, func() { fired = true })
+	// The new event recycles the first one's storage; the stale handle must
+	// be a no-op against it.
+	if first.Cancel() {
+		t.Fatal("stale handle canceled a reused event")
+	}
+	e.Run(0)
+	if !fired {
+		t.Fatal("reused event was suppressed by a stale handle")
+	}
+}
+
+// BenchmarkTimerChurn models the BGP MRAI pattern that dominates the event
+// queue in a mockup: schedule a timer, cancel it, schedule a replacement.
+func BenchmarkTimerChurn(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1 := e.After(50*time.Millisecond, fn)
+		t2 := e.After(80*time.Millisecond, fn)
+		t1.Cancel()
+		t2.Cancel()
+		if i%64 == 0 {
+			e.After(time.Microsecond, fn)
+			e.Step()
+		}
+	}
+}

@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -35,67 +34,161 @@ func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 // Sub returns the duration between t and u.
 func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are recycled through the engine's
+// free list once they fire or are canceled; gen guards stale Timer handles
+// against canceling an unrelated reuse.
 type event struct {
-	at     Time
-	seq    uint64 // tie-breaker for deterministic FIFO ordering at equal times
-	fn     func()
-	index  int // heap index, -1 once popped or canceled
-	cancel bool
+	at    Time
+	seq   uint64 // tie-breaker for deterministic FIFO ordering at equal times
+	fn    func()
+	index int // heap index, -1 once popped or canceled
+	gen   uint32
+	eng   *Engine
 }
 
-// eventQueue is a min-heap of events ordered by (time, insertion sequence).
+// eventQueue is a hand-rolled binary min-heap of events ordered by
+// (time, insertion sequence). container/heap's interface indirection and
+// swap-based sifting showed up as ~9% of a mockup's CPU profile, so the
+// sifts here move a hole instead (one assignment per level) with the
+// comparison inlined. The pop order — strictly ascending (at, seq), a total
+// order — is identical to the interface version's.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// evLess reports whether a fires before b: earlier time, then FIFO seq.
+func evLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// push appends ev and sifts it up.
+func (q *eventQueue) push(ev *event) {
+	h := append(*q, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !evLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = ev
+	ev.index = i
+	*q = h
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+
+// popMin removes and returns the next event to fire.
+func (q *eventQueue) popMin() *event {
+	h := *q
+	min := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	*q = h[:n]
+	min.index = -1
+	if n > 0 {
+		q.siftDown(0, last)
+	}
+	return min
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+
+// siftDown places ev into the hole at i, descending while a child orders
+// before it.
+func (q *eventQueue) siftDown(i int, ev *event) {
+	h := *q
+	n := len(h)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && evLess(h[r], h[c]) {
+			c = r
+		}
+		if !evLess(h[c], ev) {
+			break
+		}
+		h[i] = h[c]
+		h[i].index = i
+		i = c
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+// siftUp re-raises the event at i after a removal placed it there.
+func (q *eventQueue) siftUp(i int) {
+	h := *q
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !evLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+// removeAt deletes the event at index i (used by Timer.Cancel).
+func (q *eventQueue) removeAt(i int) {
+	h := *q
+	n := len(h) - 1
+	ev := h[i]
+	last := h[n]
+	h[n] = nil
+	*q = h[:n]
 	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	if i < n {
+		q.siftDown(i, last)
+		if last.index == i {
+			q.siftUp(i)
+		}
+	}
 }
 
 // Timer is a handle to a scheduled event that can be canceled before it fires.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint32
 }
 
-// Cancel prevents the timer's callback from running. Canceling an
-// already-fired or already-canceled timer is a no-op. It returns true if the
-// timer was still pending.
+// Cancel prevents the timer's callback from running and removes the event
+// from the queue immediately, so mass-cancellation never bloats the heap.
+// Canceling an already-fired or already-canceled timer is a no-op. It
+// returns true if the timer was still pending.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancel || t.ev.index == -1 {
+	if t == nil || t.ev == nil {
 		return false
 	}
-	t.ev.cancel = true
+	ev := t.ev
+	if ev.gen != t.gen || ev.index < 0 {
+		return false
+	}
+	ev.eng.queue.removeAt(ev.index)
+	ev.eng.recycle(ev)
 	return true
 }
 
+// maxFreeEvents caps the event free list so a burst of churn does not pin
+// memory forever.
+const maxFreeEvents = 1 << 16
+
 // Engine is a discrete-event simulator: a virtual clock plus an ordered
 // queue of pending callbacks. It is not safe for concurrent use; CrystalNet
-// emulations are single-threaded by design so that runs are reproducible.
+// emulations are single-threaded by design so that runs are reproducible
+// (the experiment harness parallelizes across independent engines, never
+// within one).
 type Engine struct {
 	now    Time
 	queue  eventQueue
+	free   []*event // recycled events, bounded by maxFreeEvents
 	seq    uint64
 	rng    *rand.Rand
 	fired  uint64
@@ -118,12 +211,23 @@ func (e *Engine) Now() Time { return e.now }
 // here to keep runs reproducible.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// Pending reports the number of events still queued (including canceled
-// events not yet discarded).
+// Pending reports the number of live events still queued. Canceled events
+// are removed from the queue eagerly, so they never count.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Fired reports how many events have executed since the engine was created.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// recycle returns a fired or canceled event to the free list. The
+// generation bump invalidates any Timer handle still pointing at it.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.index = -1
+	ev.gen++
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // is clamped to the current time (the event runs next, after events already
@@ -132,10 +236,18 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{eng: e}
+	}
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	e.queue.push(ev)
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -161,17 +273,16 @@ func (e *Engine) Halt() { e.halted = true }
 // Step executes the single next event, advancing the clock to its time.
 // It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		e.fired++
-		ev.fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := e.queue.popMin()
+	e.now = ev.at
+	e.fired++
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains (quiescence), Halt is called,
@@ -204,7 +315,7 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		if len(e.queue) == 0 {
 			break
 		}
-		if next := e.peekTime(); next > deadline {
+		if e.queue[0].at > deadline {
 			e.now = deadline
 			return n
 		}
@@ -222,16 +333,4 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 // RunFor executes events for d of virtual time from now.
 func (e *Engine) RunFor(d time.Duration) uint64 {
 	return e.RunUntil(e.now.Add(d))
-}
-
-func (e *Engine) peekTime() Time {
-	// Skip leading canceled events so a far-future canceled timer does not
-	// stall RunUntil.
-	for len(e.queue) > 0 && e.queue[0].cancel {
-		heap.Pop(&e.queue)
-	}
-	if len(e.queue) == 0 {
-		return e.now
-	}
-	return e.queue[0].at
 }

@@ -6,6 +6,8 @@
 package trie
 
 import (
+	"math/bits"
+
 	"crystalnet/internal/netpkt"
 )
 
@@ -38,12 +40,22 @@ func bitAt(addr netpkt.IP, i uint8) int {
 	return int(addr>>(31-i)) & 1
 }
 
+// maskTab[l] is the netmask for a prefix of length l; a table lookup keeps
+// the branch for l == 0 out of the per-node descent loops.
+var maskTab [33]netpkt.IP
+
+func init() {
+	for l := 1; l <= 32; l++ {
+		maskTab[l] = netpkt.IP(^uint32(0) << (32 - l))
+	}
+}
+
 // commonPrefixLen returns the length of the longest common prefix of a and b,
 // capped at maxLen.
 func commonPrefixLen(a, b netpkt.IP, maxLen uint8) uint8 {
-	var n uint8
-	for n < maxLen && bitAt(a, n) == bitAt(b, n) {
-		n++
+	n := uint8(bits.LeadingZeros32(uint32(a ^ b)))
+	if n > maxLen {
+		n = maxLen
 	}
 	return n
 }
@@ -51,7 +63,7 @@ func commonPrefixLen(a, b netpkt.IP, maxLen uint8) uint8 {
 // Insert adds or replaces the value for prefix p. It returns true if the
 // prefix was newly added, false if an existing value was replaced.
 func (t *Trie[V]) Insert(p netpkt.Prefix, v V) bool {
-	p.Addr &= p.MaskIP()
+	p.Addr &= maskTab[p.Len]
 	n := t.root
 	for {
 		if n.prefix.Len == p.Len && n.prefix.Addr == p.Addr {
@@ -86,7 +98,7 @@ func (t *Trie[V]) Insert(p netpkt.Prefix, v V) bool {
 			return true
 		}
 		// Diverge: create a glue node at the common length.
-		glue := &node[V]{prefix: netpkt.Prefix{Addr: p.Addr & maskFor(common), Len: common}}
+		glue := &node[V]{prefix: netpkt.Prefix{Addr: p.Addr & maskTab[common], Len: common}}
 		glue.children[bitAt(child.prefix.Addr, common)] = child
 		leaf := &node[V]{prefix: p, value: v, hasValue: true}
 		glue.children[bitAt(p.Addr, common)] = leaf
@@ -96,12 +108,7 @@ func (t *Trie[V]) Insert(p netpkt.Prefix, v V) bool {
 	}
 }
 
-func maskFor(l uint8) netpkt.IP {
-	if l == 0 {
-		return 0
-	}
-	return netpkt.IP(^uint32(0) << (32 - l))
-}
+func maskFor(l uint8) netpkt.IP { return maskTab[l] }
 
 func min8(a, b uint8) uint8 {
 	if a < b {
@@ -110,23 +117,26 @@ func min8(a, b uint8) uint8 {
 	return b
 }
 
-// Get returns the value stored for exactly prefix p.
+// Get returns the value stored for exactly prefix p. The descent is a tight
+// iterative loop — one mask-table lookup and one shift per node — because
+// every FIB install on the BGP hot path funnels through here.
 func (t *Trie[V]) Get(p netpkt.Prefix) (V, bool) {
-	p.Addr &= p.MaskIP()
+	addr := p.Addr & maskTab[p.Len]
 	n := t.root
-	for n != nil {
-		if n.prefix.Len > p.Len || n.prefix.Addr != p.Addr&maskFor(n.prefix.Len) {
-			var zero V
-			return zero, false
-		}
-		if n.prefix.Len == p.Len {
-			if n.prefix.Addr == p.Addr && n.hasValue {
+	for {
+		nl := n.prefix.Len
+		if nl >= p.Len {
+			if nl == p.Len && n.prefix.Addr == addr && n.hasValue {
 				return n.value, true
 			}
-			var zero V
-			return zero, false
+			break
 		}
-		n = n.children[bitAt(p.Addr, n.prefix.Len)]
+		if n.prefix.Addr != addr&maskTab[nl] {
+			break
+		}
+		if n = n.children[(addr>>(31-nl))&1]; n == nil {
+			break
+		}
 	}
 	var zero V
 	return zero, false
@@ -136,10 +146,11 @@ func (t *Trie[V]) Get(p netpkt.Prefix) (V, bool) {
 // Structural glue nodes are left in place; they are cheap and simplify
 // deletion, and tables in the emulator are rebuilt wholesale on reload.
 func (t *Trie[V]) Delete(p netpkt.Prefix) bool {
-	p.Addr &= p.MaskIP()
+	addr := p.Addr & maskTab[p.Len]
 	n := t.root
 	for n != nil {
-		if n.prefix.Len == p.Len && n.prefix.Addr == p.Addr {
+		nl := n.prefix.Len
+		if nl == p.Len && n.prefix.Addr == addr {
 			if !n.hasValue {
 				return false
 			}
@@ -148,10 +159,10 @@ func (t *Trie[V]) Delete(p netpkt.Prefix) bool {
 			t.size--
 			return true
 		}
-		if n.prefix.Len >= p.Len {
+		if nl >= p.Len {
 			return false
 		}
-		n = n.children[bitAt(p.Addr, n.prefix.Len)]
+		n = n.children[(addr>>(31-nl))&1]
 	}
 	return false
 }
@@ -165,17 +176,20 @@ func (t *Trie[V]) Lookup(ip netpkt.IP) (netpkt.Prefix, V, bool) {
 		found bool
 		n     = t.root
 	)
-	for n != nil {
-		if n.prefix.Addr != ip&maskFor(n.prefix.Len) {
+	for {
+		nl := n.prefix.Len
+		if n.prefix.Addr != ip&maskTab[nl] {
 			break
 		}
 		if n.hasValue {
 			bestP, bestV, found = n.prefix, n.value, true
 		}
-		if n.prefix.Len == 32 {
+		if nl == 32 {
 			break
 		}
-		n = n.children[bitAt(ip, n.prefix.Len)]
+		if n = n.children[(ip>>(31-nl))&1]; n == nil {
+			break
+		}
 	}
 	return bestP, bestV, found
 }
@@ -203,11 +217,11 @@ func (t *Trie[V]) walk(n *node[V], fn func(p netpkt.Prefix, v V) bool) bool {
 
 // WalkCovered visits every stored prefix contained in p (including p itself).
 func (t *Trie[V]) WalkCovered(p netpkt.Prefix, fn func(q netpkt.Prefix, v V) bool) {
-	p.Addr &= p.MaskIP()
+	p.Addr &= maskTab[p.Len]
 	n := t.root
 	// Descend to the node region covering p.
 	for n != nil && n.prefix.Len < p.Len {
-		if n.prefix.Addr != p.Addr&maskFor(n.prefix.Len) {
+		if n.prefix.Addr != p.Addr&maskTab[n.prefix.Len] {
 			return
 		}
 		n = n.children[bitAt(p.Addr, n.prefix.Len)]

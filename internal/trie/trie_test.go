@@ -324,3 +324,35 @@ func BenchmarkLookup(b *testing.B) {
 		tr.Lookup(addrs[i%len(addrs)])
 	}
 }
+
+func BenchmarkInsertDelete(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	prefixes := make([]netpkt.Prefix, 65536)
+	for i := range prefixes {
+		prefixes[i] = netpkt.Prefix{Addr: netpkt.IP(rng.Uint32()), Len: uint8(8 + rng.Intn(25))}
+		prefixes[i].Addr &= prefixes[i].MaskIP()
+	}
+	b.ResetTimer()
+	tr := New[int]()
+	for i := 0; i < b.N; i++ {
+		p := prefixes[i%len(prefixes)]
+		tr.Insert(p, i)
+		tr.Delete(p)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	prefixes := make([]netpkt.Prefix, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		p := netpkt.Prefix{Addr: netpkt.IP(rng.Uint32()), Len: uint8(8 + rng.Intn(25))}
+		p.Addr &= p.MaskIP()
+		tr.Insert(p, i)
+		prefixes = append(prefixes, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(prefixes[i%len(prefixes)])
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — tier-1 style verification: build, vet, full tests, and a race
+# pass over the packages that touch concurrency (the experiment worker pool,
+# the engine it drives, and the harness that fans runs across it).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrency-touching packages)"
+go test -race ./internal/parallel/ ./internal/sim/ ./internal/experiments/
+
+echo "OK"
