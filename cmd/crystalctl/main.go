@@ -1,7 +1,8 @@
 // Command crystalctl is the operator CLI for CrystalNet: it prepares and
 // mocks up an emulation of one of the evaluation fabrics (or a safe
 // boundary within one) and runs a validation action against it — the
-// command-line face of the paper's Table 2 API.
+// command-line face of the paper's Table 2 API plus the declarative
+// scenario engine.
 //
 // Usage:
 //
@@ -9,19 +10,16 @@
 //
 // Commands:
 //
-//	plan                  compute and print the safe boundary (no emulation)
-//	mockup                mock up, converge, print metrics and a state summary
-//	fibs <device>         mock up and dump a device's forwarding table
-//	exec <device> <cmd>   mock up and run a CLI command over the mgmt plane
-//	trace <device> <ip>   mock up and trace a probe packet from a device
+//	plan                      compute and print the safe boundary (no emulation)
+//	mockup                    mock up, converge, print metrics and a state summary
+//	fibs <device>             mock up and dump a device's forwarding table
+//	exec <device> <cmd>       mock up and run a CLI command over the mgmt plane
+//	trace <device> <ip>       mock up and trace a probe packet from a device
+//	run-scenario <file.json>  execute a rehearsal spec, print its JSON report
+//	chaos [file.json]         run a chaos campaign from a base spec (default: sdc)
 //
-// Flags:
-//
-//	-dc sdc|mdc|ldc   fabric (default sdc)
-//	-ldcscale N       L-DC downscale divisor (default 8)
-//	-must a,b,c       emulate only a safe boundary around these devices
-//	-vms N            override the VM budget
-//	-seed N           simulation seed
+// run-scenario and chaos build their fabric from the spec file; the
+// topology flags (-dc, -ldcscale, -must, -vms) apply to the other commands.
 package main
 
 import (
@@ -33,8 +31,32 @@ import (
 	"time"
 
 	"crystalnet"
+	"crystalnet/internal/scenario"
 	"crystalnet/internal/topo"
 )
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `usage: crystalctl [flags] <command> [args]
+
+Commands:
+  plan                      compute and print the safe boundary (no emulation)
+  mockup                    mock up, converge, print metrics and a state summary
+  fibs <device>             mock up and dump a device's forwarding table
+  exec <device> <command>   mock up and run a CLI command over the mgmt plane
+  trace <device> <ip>       mock up and trace a probe packet from a device
+  run-scenario <file.json>  execute a rehearsal spec, print its JSON report
+                            (exits 1 if the scenario fails)
+  chaos [file.json]         expand a base spec into -n seeded fault sequences
+                            and run them on -workers cores (default base: the
+                            sdc fabric with the no-blackhole invariant)
+
+run-scenario and chaos take their fabric from the spec file; -dc, -ldcscale,
+-must and -vms apply to the other commands.
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -42,13 +64,68 @@ func main() {
 	ldcScale := flag.Int("ldcscale", 8, "L-DC downscale divisor")
 	must := flag.String("must", "", "comma-separated must-emulate devices (Algorithm 1 grows the boundary)")
 	vms := flag.Int("vms", 0, "VM budget override")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := flag.Int64("seed", 1, "simulation seed (run-scenario: overrides the spec's seed when set)")
+	n := flag.Int("n", 20, "chaos: number of fault sequences")
+	workers := flag.Int("workers", 0, "chaos: worker pool size (0 = all cores, 1 = serial)")
+	faults := flag.Int("faults", 6, "chaos: fault events per sequence")
+	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+
+	switch cmd {
+	case "run-scenario":
+		need(flag.NArg() >= 2, "run-scenario <file.json>")
+		sp, err := crystalnet.LoadScenario(flag.Arg(1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := crystalnet.ScenarioOptions{}
+		if seedSet {
+			opts.SeedOverride = seed
+		}
+		rep, err := crystalnet.RunScenario(sp, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(rep.JSON())
+		fmt.Fprintln(os.Stderr, rep.Summary())
+		if !rep.Passed {
+			os.Exit(1)
+		}
+		return
+	case "chaos":
+		base := defaultChaosBase()
+		if flag.NArg() >= 2 {
+			sp, err := crystalnet.LoadScenario(flag.Arg(1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			base = sp
+		}
+		cfg := crystalnet.CampaignConfig{
+			N: *n, Seed: *seed, FaultsPerRun: *faults, Workers: *workers,
+		}
+		rep, err := crystalnet.ChaosCampaign(base, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(rep.JSON())
+		fmt.Fprintf(os.Stderr, "%s: %d/%d runs passed\n", rep.Scenario, rep.Passed, rep.Passed+rep.Failed)
+		if rep.Failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var spec crystalnet.ClosSpec
 	switch *dc {
@@ -155,6 +232,20 @@ func main() {
 	em.Clear(nil)
 	o.Eng.Run(0)
 	o.Destroy(prep)
+}
+
+// defaultChaosBase is the campaign base when no spec file is given: the
+// full sdc fabric under the continuous no-blackhole invariant, with one
+// convergence point before the fault sequence starts.
+func defaultChaosBase() *crystalnet.Scenario {
+	return &crystalnet.Scenario{
+		Name:        "chaos-sdc",
+		Description: "chaos campaign base: sdc fabric, no-blackhole invariant",
+		Seed:        1,
+		Topology:    scenario.Topology{DC: "sdc", WANPerGroup: 2},
+		Invariants:  []crystalnet.ScenarioStep{{Op: scenario.OpAssertNoBlackhole}},
+		Steps:       []crystalnet.ScenarioStep{{Op: scenario.OpWaitConverge}},
+	}
 }
 
 func need(ok bool, usage string) {

@@ -37,6 +37,7 @@ import (
 	"crystalnet/internal/firmware"
 	"crystalnet/internal/netpkt"
 	"crystalnet/internal/rib"
+	"crystalnet/internal/scenario"
 	"crystalnet/internal/speaker"
 	"crystalnet/internal/telemetry"
 	"crystalnet/internal/topo"
@@ -189,6 +190,44 @@ func ComputePaths(records []CaptureRecord) []Path { return telemetry.ComputePath
 
 // GenerateConfigs derives production-style configurations from a topology.
 func GenerateConfigs(n *Network) map[string]*DeviceConfig { return config.Generate(n) }
+
+// Scenario engine: declarative operation rehearsals and chaos campaigns
+// (internal/scenario). A Scenario is a JSON-codable rehearsal spec; the
+// runner executes it deterministically on the simulation clock and emits a
+// structured ScenarioReport.
+type (
+	// Scenario is a declarative rehearsal spec.
+	Scenario = scenario.Spec
+	// ScenarioStep is one operation or assertion in a scenario.
+	ScenarioStep = scenario.Step
+	// ScenarioOptions tune one run (seed override, image pins, event cap).
+	ScenarioOptions = scenario.Options
+	// ScenarioImage pins a vendor image by name/version inside a spec.
+	ScenarioImage = scenario.ImageRef
+	// ScenarioReport is a run's structured JSON-ready outcome.
+	ScenarioReport = scenario.Report
+	// CampaignConfig parameterizes a chaos campaign.
+	CampaignConfig = scenario.CampaignConfig
+	// CampaignReport aggregates a campaign's per-run reports.
+	CampaignReport = scenario.CampaignReport
+)
+
+// LoadScenario reads and validates a scenario spec from a JSON file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// ParseScenario decodes and validates a scenario spec from JSON bytes.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// RunScenario executes a rehearsal spec and returns its report.
+func RunScenario(sp *Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.Run(sp, opts)
+}
+
+// ChaosCampaign expands a base spec into seeded fault sequences and runs
+// them across a worker pool; reports are identical for any worker count.
+func ChaosCampaign(base *Scenario, cfg CampaignConfig) (*CampaignReport, error) {
+	return scenario.Chaos(base, cfg)
+}
 
 // VendorImage returns a vendor's device software image by exact version;
 // DefaultImage returns its production release.

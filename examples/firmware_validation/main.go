@@ -1,13 +1,14 @@
-// Switch-OS validation pipeline: the paper's §7 Case 2.
+// Switch-OS validation pipeline: the paper's §7 Case 2, driven by the
+// declarative scenario engine.
 //
 // Engineers developing the in-house switch OS (CTNR-B) validate every dev
 // build by deploying it into an emulated production environment and
-// checking that network behaviour does not change. This example runs the
-// pipeline over the production release and three dev builds carrying the
-// bugs the paper reports CrystalNet caught — failing to program the default
-// route, failing to trap ARP to the CPU, and crashing after BGP session
-// flaps. None of these are visible to unit tests or config verification;
-// all three fail the emulated-production checks here.
+// checking that network behaviour does not change. The behavioural checks
+// live in one spec (scenarios/firmware_validation.json) — sessions up,
+// default route programmed, survives BGP session flaps — and the pipeline
+// re-runs it per build by pinning the ctnrb image version. The three dev
+// builds carry the bugs the paper reports CrystalNet caught; none are
+// visible to unit tests or config verification, all three fail here.
 //
 //	go run ./examples/firmware_validation
 package main
@@ -15,6 +16,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"crystalnet"
 )
@@ -25,10 +29,35 @@ type report struct {
 }
 
 func main() {
+	sp, err := loadSpec("scenarios/firmware_validation.json")
+	if err != nil {
+		log.Fatal(err)
+	}
 	builds := []string{"1.0", "dev-default-route", "dev-arp-trap", "dev-flap-crash"}
 	var reports []report
+	exit := 0
 	for _, build := range builds {
-		reports = append(reports, validate(build))
+		fmt.Printf("--- validating ctnrb %s ---\n", build)
+		rep, err := crystalnet.RunScenario(sp.Clone(), crystalnet.ScenarioOptions{
+			Images: map[string]crystalnet.ScenarioImage{"ctnrb": {Version: build}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := report{build: build, checks: map[string]bool{
+			"sessions": true, "default": true, "flaps": true,
+		}}
+		for _, st := range rep.Steps {
+			key := checkKey(st.Label)
+			if key == "" {
+				continue
+			}
+			if !st.Pass {
+				r.checks[key] = false
+				fmt.Printf("  FAIL %s: %s\n", st.Label, st.Detail)
+			}
+		}
+		reports = append(reports, r)
 	}
 
 	fmt.Println("\n==== validation pipeline results ====")
@@ -39,115 +68,34 @@ func main() {
 				verdict = "REJECT"
 			}
 		}
+		if verdict == "REJECT" && r.build == "1.0" {
+			exit = 1 // the production release must always ship
+		}
 		fmt.Printf("%-18s sessions:%-5v default-route:%-5v flap-survival:%-5v  => %s\n",
 			r.build, r.checks["sessions"], r.checks["default"], r.checks["flaps"], verdict)
 	}
+	os.Exit(exit)
 }
 
-// validate deploys one CTNR-B build onto the ToRs of an emulated fabric and
-// runs the behavioural checks.
-func validate(version string) report {
-	fmt.Printf("--- validating ctnrb %s ---\n", version)
-	spec := crystalnet.ClosSpec{
-		Name: "pipeline", Pods: 2, ToRsPerPod: 2, LeavesPerPod: 2,
-		SpineGroups: 1, SpinesPerPlane: 2, BordersPerGroup: 2,
-		PrefixesPerToR: 1,
+// checkKey maps a spec step label to its pipeline check column.
+func checkKey(label string) string {
+	switch {
+	case label == "sessions":
+		return "sessions"
+	case label == "default-route":
+		return "default"
+	case strings.HasPrefix(label, "flap-survival"):
+		return "flaps"
 	}
-	network := crystalnet.GenerateClos(spec)
-	// WAN externals become speakers announcing (among others) the default
-	// route the default-route check depends on.
-	attachWAN(network)
-
-	img, err := crystalnet.VendorImage("ctnrb", version)
-	if err != nil {
-		log.Fatal(err)
-	}
-	o := crystalnet.New(crystalnet.Options{Seed: 21})
-	prep, err := o.Prepare(crystalnet.PrepareInput{
-		Network: network,
-		Images:  map[string]crystalnet.Image{"ctnrb": img},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	em, err := o.Mockup(prep, false)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := em.RunUntilConverged(0); err != nil {
-		log.Fatal(err)
-	}
-
-	checks := map[string]bool{}
-
-	// Check 1: every ToR's BGP sessions are Established (the ARP-trap bug
-	// makes neighbors unable to resolve the ToR at all).
-	sessionsOK := true
-	for name, st := range em.PullStates() {
-		if em.Devices[name].Image.Name == "ctnrb" && st.Established != 2 {
-			sessionsOK = false
-			fmt.Printf("  FAIL sessions: %s has %d/2 established\n", name, st.Established)
-			break
-		}
-	}
-	checks["sessions"] = sessionsOK
-
-	// Check 2: the default route learned from the boundary speakers is
-	// actually programmed into the hardware FIB.
-	defaultOK := sessionsOK // unreachable control plane implies no default either
-	if sessionsOK {
-		for _, d := range em.Devices {
-			if d.Image.Name != "ctnrb" {
-				continue
-			}
-			if _, ok := d.FIB().Lookup(crystalnet.MustParseIP("198.51.100.1")); !ok {
-				defaultOK = false
-				fmt.Printf("  FAIL default-route: %s cannot route off-fabric\n", d.Name)
-				break
-			}
-		}
-	}
-	checks["default"] = defaultOK
-
-	// Check 3: flap a ToR's uplink session a few times; the build must not
-	// crash (the production incident: "crashing after several BGP sessions
-	// flapped").
-	flapsOK := sessionsOK
-	if sessionsOK {
-		tor := network.MustDevice("tor-p0-0")
-		up := tor.Interfaces[0]
-		for i := 0; i < 4 && flapsOK; i++ {
-			em.SetLink(tor.Name, up.Name, up.Peer.Device.Name, up.Peer.Name, false)
-			em.RunUntilConverged(0)
-			em.SetLink(tor.Name, up.Name, up.Peer.Device.Name, up.Peer.Name, true)
-			em.RunUntilConverged(0)
-			if em.Devices[tor.Name].State() != crystalnet.DeviceRunning {
-				flapsOK = false
-				fmt.Printf("  FAIL flap-survival: %s state %s after %d flaps\n",
-					tor.Name, em.Devices[tor.Name].State(), i+1)
-			}
-		}
-	}
-	checks["flaps"] = flapsOK
-
-	return report{build: version, checks: checks}
+	return ""
 }
 
-// attachWAN adds two external WAN routers above the borders; Prepare turns
-// them into boundary speakers.
-func attachWAN(n *crystalnet.Network) {
-	asn := uint32(64601)
-	var borders []*crystalnet.Device
-	for _, d := range n.Devices() {
-		if d.Layer == crystalnet.LayerBorder {
-			borders = append(borders, d)
-		}
+// loadSpec finds the scenario library whether the example runs from the
+// repo root or its own directory.
+func loadSpec(rel string) (*crystalnet.Scenario, error) {
+	sp, err := crystalnet.LoadScenario(rel)
+	if err == nil {
+		return sp, nil
 	}
-	for w := 0; w < 2; w++ {
-		wd := n.AddDevice(fmt.Sprintf("wan-%d", w), crystalnet.LayerExternal, asn, "external")
-		asn++
-		for _, b := range borders {
-			n.Connect(wd, b)
-		}
-	}
+	return crystalnet.LoadScenario(filepath.Join("..", "..", rel))
 }

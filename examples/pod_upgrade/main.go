@@ -1,149 +1,66 @@
 // Pod upgrade rehearsal: the paper's most common validation case (§8.4
-// Case 1) run through the Figure 3 workflow.
+// Case 1) run through the Figure 3 workflow — now expressed as a
+// declarative scenario spec (scenarios/pod_upgrade.json) executed by the
+// scenario engine.
 //
-// Operators need to change ACLs on one pod of a large datacenter. Instead
-// of emulating all of it, Algorithm 1 grows the pod to a safe boundary
-// (pod + spines + borders, ~a tenth of this fabric), static speakers stand
-// in for the rest, and the change is validated step by step:
+// The spec mocks up a safe boundary around pod 0 (Algorithm 1 grows the
+// pod to pod + spines + borders), applies the intended pod-wide ACL,
+// verifies traffic still flows, applies the *fat-fingered* variant an
+// operator could have typed ("/2" for "/24"), watches the emulator expose
+// the black hole, and rolls back — asserting the final forwarding state is
+// byte-identical to the pre-change baseline.
 //
-//  1. Mockup the safe boundary and converge.
-//
-//  2. Apply the intended ACL via Reload; verify legitimate traffic still
-//     flows and guarded traffic is dropped.
-//
-//  3. Apply the *fat-fingered* variant an operator could have typed
-//     ("/2" for "/20"); watch the emulator expose the black hole.
-//
-//  4. Roll back with Reload(original) — the loop of Figure 3.
-//
-//     go run ./examples/pod_upgrade
+//	go run ./examples/pod_upgrade
 package main
 
 import (
 	"fmt"
 	"log"
-	"time"
+	"os"
+	"path/filepath"
 
 	"crystalnet"
 )
 
 func main() {
-	spec := crystalnet.ClosSpec{
-		Name: "dc", Pods: 8, ToRsPerPod: 4, LeavesPerPod: 4,
-		SpineGroups: 2, SpinesPerPlane: 4, BordersPerGroup: 2,
-		PrefixesPerToR: 1,
-	}
-	network := crystalnet.GenerateClos(spec)
-
-	// The operators' input: just the pod they are changing.
-	var must []string
-	for _, d := range network.DevicesInPod(0) {
-		must = append(must, d.Name)
-	}
-	o := crystalnet.New(crystalnet.Options{Seed: 3})
-	prep, err := o.Prepare(crystalnet.PrepareInput{Network: network, MustEmulate: must})
+	sp, err := loadSpec("scenarios/pod_upgrade.json")
 	if err != nil {
 		log.Fatal(err)
 	}
-	scale := prep.Plan.Scale()
-	fmt.Printf("Algorithm 1 boundary: %d devices emulated of %d (%.1f%%), %d speakers, %d VMs\n",
-		scale.TotalEmulated, network.NumDevices(), scale.Proportion*100, scale.Speakers, scale.VMs)
-	if prep.SafetyErr != nil {
-		log.Fatalf("boundary unsafe: %v", prep.SafetyErr)
-	}
-	fmt.Println("boundary certified safe (Prop 5.2/5.3)")
+	fmt.Printf("rehearsing %q: %s\n\n", sp.Name, sp.Description)
 
-	em, err := o.Mockup(prep, false)
+	rep, err := crystalnet.RunScenario(sp, crystalnet.ScenarioOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := em.RunUntilConverged(0); err != nil {
-		log.Fatal(err)
-	}
-
-	leaf := "leaf-p0-0"
-	original := em.Devices[leaf].Config().Clone()
-	serverNet := network.MustDevice("tor-p0-0").Originated[0]
-
-	probe := func(label string) bool {
-		// A probe from the border toward pod 0's servers, through the leaf.
-		em.InjectPackets("border-g0-0", crystalnet.PacketMeta{
-			Src: em.Devices["border-g0-0"].Config().Loopback.Addr, Dst: serverNet.Addr + 9,
-			Proto: crystalnet.ProtoUDP, SrcPort: 5000, DstPort: 8080, TTL: 32,
-		}, 1, time.Millisecond)
-		em.RunUntilConverged(0)
-		paths := crystalnet.ComputePaths(em.PullPackets())
-		ok := len(paths) == 1 && paths[0].Delivered
-		fmt.Printf("  [%s] probe to %v: %s\n", label, serverNet, paths[0])
-		return ok
-	}
-
-	fmt.Println("\nStep 0: baseline")
-	if !probe("baseline") {
-		log.Fatal("baseline broken")
-	}
-
-	// Step 1: the intended change — block an external scanner range from
-	// the pod's servers, permit everything else.
-	fmt.Println("\nStep 1: intended ACL (deny 203.0.113.0/24 -> servers)")
-	good := original.Clone()
-	scanner := crystalnet.MustParsePrefix("203.0.113.0/24")
-	good.ACLs["POD-GUARD"] = &crystalnet.ACL{
-		Name:          "POD-GUARD",
-		Rules:         []crystalnet.ACLRule{{Action: crystalnet.ACLDeny, Src: &scanner}},
-		DefaultAction: crystalnet.ACLPermit,
-	}
-	for _, ic := range good.Interfaces {
-		if ic.Name != "lo" {
-			good.Bindings = append(good.Bindings, crystalnet.ACLBinding{
-				ACLName: "POD-GUARD", Interface: ic.Name, Direction: crystalnet.In,
-			})
+	for _, st := range rep.Steps {
+		if st.Label == "" && st.Pass {
+			continue // unlabeled plumbing steps stay quiet unless they fail
 		}
-	}
-	if err := em.ReloadDevice(leaf, good, nil); err != nil {
-		log.Fatal(err)
-	}
-	em.RunUntilConverged(0)
-	if !probe("good ACL") {
-		log.Fatal("intended change broke traffic — would NOT ship")
-	}
-	fmt.Println("  legitimate traffic unaffected: change validated")
-
-	// Step 2: what a typo would have done — "/2" instead of "/20"-ish
-	// scoping, denying a quarter of the address space including the fabric.
-	fmt.Println("\nStep 2: fat-fingered ACL (deny 0.0.0.0/2 ingress — the §2 human-error class)")
-	bad := original.Clone()
-	typo := crystalnet.MustParsePrefix("0.0.0.0/2")
-	bad.ACLs["POD-GUARD"] = &crystalnet.ACL{
-		Name:          "POD-GUARD",
-		Rules:         []crystalnet.ACLRule{{Action: crystalnet.ACLDeny, Src: &typo}},
-		DefaultAction: crystalnet.ACLPermit,
-	}
-	for _, ic := range bad.Interfaces {
-		if ic.Name != "lo" {
-			bad.Bindings = append(bad.Bindings, crystalnet.ACLBinding{
-				ACLName: "POD-GUARD", Interface: ic.Name, Direction: crystalnet.In,
-			})
+		verdict := "ok"
+		if !st.Pass {
+			verdict = "FAIL"
 		}
+		name := st.Label
+		if name == "" {
+			name = st.Op
+		}
+		fmt.Printf("  [%-4s] %-70s %s\n", verdict, name, st.VirtualLatency)
 	}
-	if err := em.ReloadDevice(leaf, bad, nil); err != nil {
-		log.Fatal(err)
+	fmt.Printf("\n%s\n", rep.Summary())
+	if !rep.Passed {
+		fmt.Println("change would NOT ship")
+		os.Exit(1)
 	}
-	em.RunUntilConverged(0)
-	if probe("typo ACL") {
-		fmt.Println("  probe still delivered (ECMP routed around the broken leaf) — check the leaf directly")
-	} else {
-		fmt.Println("  BLACK HOLE caught in emulation — this change never reaches production")
-	}
+	fmt.Println("validated plan ready for production")
+}
 
-	// Step 3: roll back (the Figure 3 "fix bugs" edge).
-	fmt.Println("\nStep 3: rollback to the original config")
-	if err := em.ReloadDevice(leaf, original, nil); err != nil {
-		log.Fatal(err)
+// loadSpec finds the scenario library whether the example runs from the
+// repo root or its own directory.
+func loadSpec(rel string) (*crystalnet.Scenario, error) {
+	sp, err := crystalnet.LoadScenario(rel)
+	if err == nil {
+		return sp, nil
 	}
-	em.RunUntilConverged(0)
-	if !probe("rollback") {
-		log.Fatal("rollback failed")
-	}
-	fmt.Println("  fabric restored; validated plan ready for production")
+	return crystalnet.LoadScenario(filepath.Join("..", "..", rel))
 }

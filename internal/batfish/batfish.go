@@ -422,20 +422,42 @@ func sortPrefixes(ps []netpkt.Prefix) {
 
 // Reachable walks the computed FIBs from a device toward an address,
 // answering the reachability queries verification tools are used for.
-// It returns the device path and whether delivery succeeds.
+// It returns the device path and whether delivery succeeds. For many
+// queries over the same state, build a Walker once instead.
 func Reachable(fibs map[string]rib.Snapshot, cfgs map[string]*config.DeviceConfig, from string, dst netpkt.IP) ([]string, bool) {
-	// Index: session IP -> owning device (to follow next hops).
-	owner := map[netpkt.IP]string{}
+	return NewWalker(fibs, cfgs).Reachable(from, dst)
+}
+
+// Walker answers repeated reachability queries against one pulled state.
+// It hoists the interface-owner index out of the per-query path, which is
+// what makes fabric-wide sweeps (every device x every prefix) affordable.
+type Walker struct {
+	fibs map[string]rib.Snapshot
+	cfgs map[string]*config.DeviceConfig
+	// owner maps a session/interface IP to the device that owns it (to
+	// follow next hops).
+	owner map[netpkt.IP]string
+}
+
+// NewWalker indexes pulled FIBs and configurations for repeated queries.
+func NewWalker(fibs map[string]rib.Snapshot, cfgs map[string]*config.DeviceConfig) *Walker {
+	w := &Walker{fibs: fibs, cfgs: cfgs, owner: map[netpkt.IP]string{}}
 	for name, c := range cfgs {
 		for _, ic := range c.Interfaces {
-			owner[ic.Addr.Addr] = name
+			w.owner[ic.Addr.Addr] = name
 		}
 	}
+	return w
+}
+
+// Reachable walks from a device toward an address, returning the device
+// path and whether delivery succeeds.
+func (w *Walker) Reachable(from string, dst netpkt.IP) ([]string, bool) {
 	cur := from
 	var path []string
 	for hops := 0; hops < 64; hops++ {
 		path = append(path, cur)
-		c := cfgs[cur]
+		c := w.cfgs[cur]
 		if c != nil {
 			for _, p := range c.Networks {
 				if p.Contains(dst) {
@@ -444,7 +466,7 @@ func Reachable(fibs map[string]rib.Snapshot, cfgs map[string]*config.DeviceConfi
 			}
 		}
 		var best *rib.Entry
-		for _, e := range fibs[cur] {
+		for _, e := range w.fibs[cur] {
 			if e.Prefix.Contains(dst) && (best == nil || e.Prefix.Len > best.Prefix.Len) {
 				best = e
 			}
@@ -455,14 +477,14 @@ func Reachable(fibs map[string]rib.Snapshot, cfgs map[string]*config.DeviceConfi
 		nh := best.NextHops[0]
 		if nh.IP == 0 {
 			// Connected: delivered if someone owns it, else it is a host.
-			next, ok := owner[dst]
+			next, ok := w.owner[dst]
 			if !ok {
 				return path, true
 			}
 			cur = next
 			continue
 		}
-		next, ok := owner[nh.IP]
+		next, ok := w.owner[nh.IP]
 		if !ok {
 			return path, false
 		}

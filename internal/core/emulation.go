@@ -63,10 +63,11 @@ type Emulation struct {
 	ClearedAt      sim.Time
 
 	// Health monitoring state (§6.2).
-	Alerts     []string
-	recoveries []time.Duration
-	healthTick *sim.Timer
-	cleared    bool
+	Alerts      []string
+	recoveries  []time.Duration
+	healthTick  *sim.Timer
+	healthArmed bool
+	cleared     bool
 
 	vmsPending    int
 	buildsPending int
@@ -123,11 +124,15 @@ func (o *Orchestrator) Mockup(prep *Preparation, force bool) (*Emulation, error)
 // StartHealthMonitor arms the §6.2 health/auto-recovery daemon with the
 // configured interval. Call after initial convergence: the periodic tick
 // keeps the event queue alive, so drive the engine with RunFor/RunUntil
-// from here on.
+// from here on. The call is idempotent — a scenario runner and its caller
+// can both arm the daemon without double-scheduling the tick chain — and a
+// cleared emulation can never be re-armed.
 func (em *Emulation) StartHealthMonitor() {
-	if em.orch.opts.HealthInterval > 0 && em.healthTick == nil {
-		em.scheduleHealthCheck()
+	if em.orch.opts.HealthInterval <= 0 || em.healthArmed || em.cleared {
+		return
 	}
+	em.healthArmed = true
+	em.scheduleHealthCheck()
 }
 
 // build creates every PhyNet container, interface and virtual link, charges
@@ -735,11 +740,34 @@ func (em *Emulation) dropDeviceLinks(name string) {
 // Recoveries returns measured VM-recovery durations (§8.3).
 func (em *Emulation) Recoveries() []time.Duration { return em.recoveries }
 
+// InjectVMFailure fails the VM hosting the named device — the §6.2 failure
+// drill a scenario triggers on demand instead of waiting for the cloud's
+// random failure process. Recovery is automatic (onVMFailure) and its
+// latency lands in Recoveries().
+func (em *Emulation) InjectVMFailure(device string) error {
+	vm := em.vmOf[device]
+	if vm == nil {
+		return fmt.Errorf("core: no VM hosts device %q", device)
+	}
+	em.orch.Cloud.Fail(vm)
+	return nil
+}
+
+// VMName reports which VM hosts the named device ("" for hardware devices
+// and unknown names) — scenario reports use it to label failure drills.
+func (em *Emulation) VMName(device string) string {
+	if vm := em.vmOf[device]; vm != nil {
+		return vm.Name
+	}
+	return ""
+}
+
 // Clear stops all firmware and resets the VMs to a clean state (Table 2).
 // onDone fires when every VM has finished clearing; ClearedAt records the
 // completion time.
 func (em *Emulation) Clear(onDone func()) {
 	em.cleared = true
+	em.healthArmed = false
 	if em.healthTick != nil {
 		em.healthTick.Cancel()
 	}

@@ -1,0 +1,827 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"crystalnet/internal/batfish"
+	"crystalnet/internal/config"
+	"crystalnet/internal/core"
+	"crystalnet/internal/dataplane"
+	"crystalnet/internal/firmware"
+	"crystalnet/internal/netpkt"
+	"crystalnet/internal/rib"
+	"crystalnet/internal/telemetry"
+	"crystalnet/internal/topo"
+	"crystalnet/internal/vendors"
+)
+
+// Probe defaults: traceroute-style UDP with a generous TTL, one packet.
+const (
+	probePort     = 33434
+	probeTTL      = 32
+	probeInterval = time.Millisecond
+	// defaultMaxEvents caps one convergence drive (same default as
+	// Emulation.RunUntilConverged).
+	defaultMaxEvents = 500_000_000
+	// maxDetail bounds per-check failure listings in reports.
+	maxDetail = 5
+)
+
+// Options tune a single scenario run.
+type Options struct {
+	// SeedOverride replaces the spec's seed when non-nil (campaigns use it
+	// to derive per-run seeds).
+	SeedOverride *int64
+	// Images overrides/extends the spec's image pins — the firmware-
+	// validation pipeline sweeps dev builds through one spec this way.
+	Images map[string]ImageRef
+	// MaxEvents caps each convergence drive (0 = default).
+	MaxEvents uint64
+}
+
+// runner executes one spec against one emulation.
+type runner struct {
+	sp   *Spec
+	opts Options
+
+	orch *core.Orchestrator
+	em   *core.Emulation
+	net  *topo.Network
+
+	// origConfigs are the post-mockup device configurations; reload-config
+	// patches clone from here and fromBaseline rolls back to here.
+	origConfigs map[string]*config.DeviceConfig
+	baselines   map[string]*core.State
+	lastFlow    uint64
+
+	report *Report
+}
+
+// Run executes a validated spec from scratch: build the fabric, mock up
+// the emulation, then drive every step on the simulation clock, sweeping
+// the spec's invariants at each convergence point. The returned report is
+// fully determined by (spec, seed): identically-seeded runs produce
+// byte-identical JSON.
+func Run(sp *Spec, opts Options) (*Report, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	seed := sp.Seed
+	if opts.SeedOverride != nil {
+		seed = *opts.SeedOverride
+	}
+	if seed == 0 {
+		seed = 1
+	}
+
+	r := &runner{
+		sp: sp, opts: opts,
+		origConfigs: map[string]*config.DeviceConfig{},
+		baselines:   map[string]*core.State{},
+		report:      &Report{Scenario: sp.Name, Seed: seed},
+	}
+	if err := r.mockup(seed); err != nil {
+		return nil, err
+	}
+
+	for i := range sp.Steps {
+		st := &sp.Steps[i]
+		res := StepResult{Index: i + 1, Op: st.Op, Label: st.Label}
+		start := r.orch.Eng.Now()
+		res.Start = start.String()
+		r.step(st, &res)
+		end := r.orch.Eng.Now()
+		res.End = end.String()
+		res.VirtualLatency = end.Sub(start).String()
+		r.report.Steps = append(r.report.Steps, res)
+	}
+
+	r.report.VirtualDuration = r.orch.Eng.Now().Sub(r.em.MockupStart).String()
+	r.report.Alerts = append([]string(nil), r.em.Alerts...)
+	r.report.Passed = r.passed()
+	return r.report, nil
+}
+
+// passed folds every step and invariant outcome.
+func (r *runner) passed() bool {
+	if r.report.Error != "" {
+		return false
+	}
+	for i := range r.report.Steps {
+		if !r.report.Steps[i].Pass {
+			return false
+		}
+		for _, c := range r.report.Steps[i].Invariants {
+			if !c.Pass {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mockup builds the fabric and drives the emulation to route-ready,
+// recording the synthetic step-0 result with the §8.1 metrics and the
+// first invariant sweep.
+func (r *runner) mockup(seed int64) error {
+	net, clos, err := r.sp.BuildNetwork()
+	if err != nil {
+		return err
+	}
+	r.net = net
+	r.report.Fabric = clos.Name
+
+	images := map[string]firmware.VendorImage{}
+	addImage := func(vendor string, ref ImageRef) error {
+		name := ref.Name
+		if name == "" {
+			name = vendor
+		}
+		var img firmware.VendorImage
+		var err error
+		if ref.Version == "" {
+			img, err = vendors.Default(name)
+		} else {
+			img, err = vendors.Get(name, ref.Version)
+		}
+		if err != nil {
+			return fmt.Errorf("scenario %s: image %s: %w", r.sp.Name, vendor, err)
+		}
+		images[vendor] = img
+		return nil
+	}
+	for vendor, ref := range r.sp.Images {
+		if err := addImage(vendor, ref); err != nil {
+			return err
+		}
+	}
+	for vendor, ref := range r.opts.Images {
+		if err := addImage(vendor, ref); err != nil {
+			return err
+		}
+	}
+
+	must := append([]string(nil), r.sp.MustEmulate...)
+	for _, pod := range r.sp.MustEmulatePods {
+		for _, d := range net.DevicesInPod(pod) {
+			must = append(must, d.Name)
+		}
+	}
+
+	r.orch = core.New(core.Options{Seed: seed})
+	prep, err := r.orch.Prepare(core.PrepareInput{
+		Network: net, MustEmulate: must, Images: images,
+	})
+	if err != nil {
+		return err
+	}
+	if prep.SafetyErr != nil {
+		return fmt.Errorf("scenario %s: boundary unsafe: %w", r.sp.Name, prep.SafetyErr)
+	}
+	em, err := r.orch.Mockup(prep, false)
+	if err != nil {
+		return err
+	}
+	r.em = em
+
+	res := StepResult{Index: 0, Op: "mockup", Start: r.orch.Eng.Now().String(), Pass: true}
+	metrics, err := em.RunUntilConverged(r.maxEvents(0))
+	if err != nil {
+		return fmt.Errorf("scenario %s: mockup did not converge: %w", r.sp.Name, err)
+	}
+	scale := prep.Plan.Scale()
+	r.report.Emulated = scale.TotalEmulated
+	r.report.Speakers = scale.Speakers
+	r.report.VMs = len(prep.VMs())
+	r.report.NetworkReady = metrics.NetworkReady.String()
+	r.report.RouteReady = metrics.RouteReady.String()
+	r.report.MockupLatency = metrics.Mockup.String()
+
+	for name, d := range em.Devices {
+		r.origConfigs[name] = d.Config().Clone()
+	}
+	r.baselines[DefaultBaseline] = em.Save()
+
+	res.End = r.orch.Eng.Now().String()
+	res.VirtualLatency = metrics.Mockup.String()
+	res.Detail = fmt.Sprintf("%d devices emulated, %d speakers, %d VMs",
+		scale.TotalEmulated, scale.Speakers, r.report.VMs)
+	r.sweepInvariants(&res)
+	r.report.Steps = append(r.report.Steps, res)
+	return nil
+}
+
+func (r *runner) maxEvents(stepCap uint64) uint64 {
+	if stepCap > 0 {
+		return stepCap
+	}
+	if r.opts.MaxEvents > 0 {
+		return r.opts.MaxEvents
+	}
+	return defaultMaxEvents
+}
+
+// sweepInvariants evaluates every spec invariant into res — the continuous
+// checking done at each convergence point.
+func (r *runner) sweepInvariants(res *StepResult) {
+	for i := range r.sp.Invariants {
+		res.Invariants = append(res.Invariants, r.check(&r.sp.Invariants[i]))
+	}
+}
+
+// step executes one step, filling res. Control-op errors mark the step
+// failed but do not abort the run: a rehearsal wants the full trajectory.
+func (r *runner) step(st *Step, res *StepResult) {
+	if st.IsAssert() {
+		c := r.check(st)
+		res.Pass, res.Detail = c.Pass, c.Detail
+		if st.Op == OpAssertFIBDiff {
+			res.Diffs = r.fibDiffStrings(st)
+		}
+		return
+	}
+	res.Pass = true
+	fail := func(format string, args ...any) {
+		res.Pass = false
+		res.Detail = fmt.Sprintf(format, args...)
+	}
+
+	switch st.Op {
+	case OpSetLink:
+		da, ia, err := splitEndpoint(st.A)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		db, ib, err := splitEndpoint(st.B)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		if err := r.em.SetLink(da, ia, db, ib, *st.Up); err != nil {
+			fail("%v", err)
+			return
+		}
+		state := "down"
+		if *st.Up {
+			state = "up"
+		}
+		res.Detail = fmt.Sprintf("%s <-> %s %s", st.A, st.B, state)
+
+	case OpReloadConfig:
+		orig := r.origConfigs[st.Device]
+		if orig == nil {
+			fail("no baseline configuration for %q", st.Device)
+			return
+		}
+		cfg := orig.Clone()
+		if st.ACL != nil {
+			if err := applyACLPatch(cfg, st.ACL); err != nil {
+				fail("%v", err)
+				return
+			}
+			res.Detail = fmt.Sprintf("%s: ACL %s deny %s", st.Device, st.ACL.Name, st.ACL.DenySrc)
+		} else {
+			res.Detail = fmt.Sprintf("%s: rollback to baseline", st.Device)
+		}
+		if err := r.em.ReloadDevice(st.Device, cfg, nil); err != nil {
+			fail("%v", err)
+		}
+
+	case OpAttachDevice:
+		if err := r.attachDevice(st.NewDevice); err != nil {
+			fail("%v", err)
+			return
+		}
+		res.Detail = fmt.Sprintf("attached %s (%s) to %s",
+			st.NewDevice.Name, st.NewDevice.Vendor, strings.Join(st.NewDevice.Peers, ", "))
+
+	case OpInjectPackets:
+		dev := r.em.Devices[st.From]
+		if dev == nil {
+			fail("no device %q", st.From)
+			return
+		}
+		dst, err := r.resolveDst(st)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		count := st.Count
+		if count <= 0 {
+			count = 1
+		}
+		interval := st.Interval.Std()
+		if interval <= 0 {
+			interval = probeInterval
+		}
+		flow, err := r.em.InjectPackets(st.From, dataplane.PacketMeta{
+			Src: dev.Config().Loopback.Addr, Dst: dst,
+			Proto: netpkt.ProtoUDP, SrcPort: probePort, DstPort: probePort,
+			TTL: probeTTL,
+		}, count, interval)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		r.lastFlow = flow
+		res.Detail = fmt.Sprintf("%d probe(s) %s -> %s", count, st.From, dst)
+
+	case OpInjectVMFailure:
+		vm := r.em.VMName(st.Device)
+		if err := r.em.InjectVMFailure(st.Device); err != nil {
+			fail("%v", err)
+			return
+		}
+		res.Detail = fmt.Sprintf("failed VM %s (hosting %s)", vm, st.Device)
+
+	case OpExec:
+		s, err := r.em.Login(st.Device)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		out, err := s.Exec(st.Command)
+		if err != nil {
+			fail("%v", err)
+			return
+		}
+		if st.ExpectContains != "" && !strings.Contains(out, st.ExpectContains) {
+			fail("output of %q missing %q", st.Command, st.ExpectContains)
+			return
+		}
+		res.Detail = fmt.Sprintf("%s: %s (%d bytes)", st.Device, st.Command, len(out))
+
+	case OpWaitConverge:
+		before := r.orch.Eng.Fired()
+		if _, err := r.em.RunUntilConverged(r.maxEvents(st.MaxEvents)); err != nil {
+			fail("%v", err)
+			return
+		}
+		res.Detail = fmt.Sprintf("%d events", r.orch.Eng.Fired()-before)
+		r.sweepInvariants(res)
+
+	case OpSleep:
+		r.orch.Eng.RunFor(st.Duration.Std())
+		res.Detail = fmt.Sprintf("slept %s", st.Duration.Std())
+
+	case OpSaveBaseline:
+		name := st.Baseline
+		if name == "" {
+			name = DefaultBaseline
+		}
+		r.baselines[name] = r.em.Save()
+		res.Detail = fmt.Sprintf("saved baseline %q", name)
+
+	default:
+		fail("unknown op %q", st.Op)
+	}
+}
+
+// attachDevice grows the topology and the running emulation (the new-rack
+// rehearsal): add the device and its links, boot it, and reload each peer
+// with a regenerated configuration so it learns the new sessions — exactly
+// the operator workflow in production.
+func (r *runner) attachDevice(nd *NewDevice) error {
+	layer, err := parseLayer(nd.Layer)
+	if err != nil {
+		return err
+	}
+	if r.net.Device(nd.Name) != nil {
+		return fmt.Errorf("device %q already in topology", nd.Name)
+	}
+	for _, peer := range nd.Peers {
+		if r.em.Devices[peer] == nil {
+			return fmt.Errorf("peer %q is not emulated", peer)
+		}
+	}
+	asn := nd.ASN
+	if asn == 0 {
+		asn = topo.ToRAS(r.net.NumDevices())
+	}
+	d := r.net.AddDevice(nd.Name, layer, asn, nd.Vendor)
+	for _, p := range nd.Originated {
+		pfx, err := netpkt.ParsePrefix(p)
+		if err != nil {
+			return fmt.Errorf("originated %q: %w", p, err)
+		}
+		d.Originated = append(d.Originated, pfx)
+	}
+	for _, peer := range nd.Peers {
+		r.net.Connect(d, r.net.MustDevice(peer))
+	}
+	var img firmware.VendorImage
+	if nd.Version == "" {
+		img, err = vendors.Default(nd.Vendor)
+	} else {
+		img, err = vendors.Get(nd.Vendor, nd.Version)
+	}
+	if err != nil {
+		return err
+	}
+	if err := r.em.AttachNewDevice(nd.Name, img, nil, nil); err != nil {
+		return err
+	}
+	// Neighbors learn the new sessions via operator reloads, as in
+	// production (§3.2).
+	for _, peer := range nd.Peers {
+		cur := r.em.Devices[peer].Config()
+		cfg := config.GenerateDevice(r.net.MustDevice(peer))
+		cfg.Credential = cur.Credential
+		if err := r.em.ReloadDevice(peer, cfg, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveDst resolves a step's probe destination: a literal IP or an
+// offset into a device's first originated server prefix.
+func (r *runner) resolveDst(st *Step) (netpkt.IP, error) {
+	if st.Dst != "" {
+		ip, err := netpkt.ParseIP(st.Dst)
+		if err != nil {
+			return 0, fmt.Errorf("dst %q: %w", st.Dst, err)
+		}
+		return ip, nil
+	}
+	d := r.net.Device(st.DstDevice)
+	if d == nil {
+		return 0, fmt.Errorf("dstDevice %q not in topology", st.DstDevice)
+	}
+	if len(d.Originated) == 0 {
+		return 0, fmt.Errorf("dstDevice %q originates no prefixes", st.DstDevice)
+	}
+	return d.Originated[0].Addr + netpkt.IP(st.DstOffset), nil
+}
+
+// check evaluates one assertion against current emulation state.
+func (r *runner) check(st *Step) Check {
+	c := Check{Op: st.Op, Pass: true}
+	fail := func(format string, args ...any) {
+		c.Pass = false
+		c.Detail = fmt.Sprintf(format, args...)
+	}
+
+	switch st.Op {
+	case OpAssertReachable:
+		dst, err := r.resolveDst(st)
+		if err != nil {
+			fail("%v", err)
+			return c
+		}
+		path, ok := batfish.Reachable(r.em.PullFIBs(), r.liveConfigs(), st.From, dst)
+		want := st.Expect == nil || *st.Expect
+		if ok != want {
+			fail("reachable(%s -> %s) = %v, want %v (path %s)",
+				st.From, dst, ok, want, strings.Join(path, " -> "))
+		} else {
+			c.Detail = fmt.Sprintf("%s -> %s via %d hops", st.From, dst, len(path))
+		}
+
+	case OpAssertFIBDiff:
+		diffs := r.fibDiffs(st)
+		total := 0
+		for _, d := range diffs {
+			total += len(d)
+		}
+		if total > st.MaxDiffs {
+			names := make([]string, 0, len(diffs))
+			for n := range diffs {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			if len(names) > maxDetail {
+				names = names[:maxDetail]
+			}
+			fail("%d FIB differences vs baseline %q (max %d) on %s",
+				total, r.baselineName(st), st.MaxDiffs, strings.Join(names, ", "))
+		} else {
+			c.Detail = fmt.Sprintf("%d differences (max %d)", total, st.MaxDiffs)
+		}
+
+	case OpAssertNoBlackhole:
+		failures := r.blackholes(st)
+		if len(failures) > 0 {
+			shown := failures
+			if len(shown) > maxDetail {
+				shown = shown[:maxDetail]
+			}
+			fail("%d blackholed pairs: %s", len(failures), strings.Join(shown, "; "))
+		} else {
+			c.Detail = "all server prefixes reachable"
+		}
+
+	case OpAssertRecoveredWithin:
+		rec := r.em.Recoveries()
+		min := st.Recoveries
+		if min <= 0 {
+			min = 1
+		}
+		if len(rec) < min {
+			fail("%d recoveries recorded, want >= %d", len(rec), min)
+			return c
+		}
+		var worst time.Duration
+		for _, d := range rec {
+			if d > worst {
+				worst = d
+			}
+		}
+		if worst > st.Duration.Std() {
+			fail("slowest recovery %s exceeds bound %s", worst, st.Duration.Std())
+		} else {
+			c.Detail = fmt.Sprintf("%d recoveries, slowest %s (bound %s)",
+				len(rec), worst, st.Duration.Std())
+		}
+
+	case OpAssertProbe:
+		paths := r.probePaths()
+		want := st.Expect == nil || *st.Expect
+		if len(paths) == 0 {
+			fail("no probe paths captured (inject-packets + wait-converge first)")
+			return c
+		}
+		var rendered []string
+		ok := true
+		for _, p := range paths {
+			if p.Delivered != want {
+				ok = false
+			}
+			if len(rendered) < maxDetail {
+				rendered = append(rendered, p.String())
+			}
+		}
+		if !ok {
+			fail("probe delivery != %v: %s", want, strings.Join(rendered, "; "))
+		} else {
+			c.Detail = strings.Join(rendered, "; ")
+		}
+
+	case OpAssertSessions:
+		states := r.em.PullStates()
+		names := r.filterDevices(st.Devices, st.Vendor)
+		var bad []string
+		for _, name := range names {
+			if got := states[name].Established; got != st.Established {
+				bad = append(bad, fmt.Sprintf("%s=%d", name, got))
+			}
+		}
+		if len(bad) > 0 {
+			if len(bad) > maxDetail {
+				bad = bad[:maxDetail]
+			}
+			fail("sessions != %d on %s", st.Established, strings.Join(bad, ", "))
+		} else {
+			c.Detail = fmt.Sprintf("%d devices at %d established sessions", len(names), st.Established)
+		}
+
+	case OpAssertFIBLookup:
+		ip, err := netpkt.ParseIP(st.IP)
+		if err != nil {
+			fail("ip %q: %v", st.IP, err)
+			return c
+		}
+		want := st.Expect == nil || *st.Expect
+		var names []string
+		if st.Device != "" {
+			names = []string{st.Device}
+		} else {
+			names = r.filterDevices(st.Devices, st.Vendor)
+		}
+		var bad []string
+		for _, name := range names {
+			d := r.em.Devices[name]
+			if d == nil || d.FIB() == nil {
+				bad = append(bad, name+"=no-fib")
+				continue
+			}
+			if _, ok := d.FIB().Lookup(ip); ok != want {
+				bad = append(bad, fmt.Sprintf("%s=%v", name, ok))
+			}
+		}
+		if len(bad) > 0 {
+			if len(bad) > maxDetail {
+				bad = bad[:maxDetail]
+			}
+			fail("lookup(%s) != %v on %s", st.IP, want, strings.Join(bad, ", "))
+		} else {
+			c.Detail = fmt.Sprintf("%d devices route %s", len(names), st.IP)
+		}
+
+	case OpAssertDeviceState:
+		d := r.em.Devices[st.Device]
+		if d == nil {
+			fail("no device %q", st.Device)
+			return c
+		}
+		if got := d.State().String(); got != st.State {
+			fail("%s state %s, want %s", st.Device, got, st.State)
+		} else {
+			c.Detail = fmt.Sprintf("%s is %s", st.Device, st.State)
+		}
+
+	default:
+		fail("unknown assertion %q", st.Op)
+	}
+	return c
+}
+
+// baselineName resolves a step's baseline reference.
+func (r *runner) baselineName(st *Step) string {
+	if st.Baseline != "" {
+		return st.Baseline
+	}
+	return DefaultBaseline
+}
+
+// fibDiffs compares the current FIBs against the referenced baseline,
+// optionally scoped to named devices.
+func (r *runner) fibDiffs(st *Step) map[string][]rib.Diff {
+	base := r.baselines[r.baselineName(st)]
+	if base == nil {
+		return map[string][]rib.Diff{"<missing-baseline>": {{}}}
+	}
+	diffs := r.em.DiffAgainst(base)
+	if len(st.Devices) > 0 {
+		scope := map[string]bool{}
+		for _, d := range st.Devices {
+			scope[d] = true
+		}
+		for name := range diffs {
+			if !scope[name] {
+				delete(diffs, name)
+			}
+		}
+	}
+	return diffs
+}
+
+// fibDiffStrings renders bounded, deterministic diff lines for the report.
+func (r *runner) fibDiffStrings(st *Step) []string {
+	diffs := r.fibDiffs(st)
+	names := make([]string, 0, len(diffs))
+	for n := range diffs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		for _, d := range diffs[name] {
+			if len(out) >= 2*maxDetail {
+				out = append(out, "...")
+				return out
+			}
+			out = append(out, fmt.Sprintf("%s: %s", name, d))
+		}
+	}
+	return out
+}
+
+// liveConfigs returns the active per-device configurations for FIB walks.
+// The prepared-config snapshot goes stale after reload-config and
+// attach-device (hot-added peering interfaces live only in the running
+// firmware's config), so reachability must resolve next hops against what
+// each device is running now.
+func (r *runner) liveConfigs() map[string]*config.DeviceConfig {
+	cfgs := make(map[string]*config.DeviceConfig, len(r.em.Devices))
+	for name, c := range r.em.Configs() {
+		cfgs[name] = c
+	}
+	for name, d := range r.em.Devices {
+		if c := d.Config(); c != nil {
+			cfgs[name] = c
+		}
+	}
+	return cfgs
+}
+
+// blackholes sweeps reachability from every emulated fabric device toward
+// a host in every server prefix the fabric originates, returning failing
+// pairs. Speakers are excluded on both sides: they replay recorded
+// boundary routes, not their own state. st.Devices scopes the source set.
+func (r *runner) blackholes(st *Step) []string {
+	fibs := r.em.PullFIBs()
+	cfgs := r.liveConfigs()
+	plan := r.em.Plan()
+	fabric := append(append([]string{}, plan.Internal...), plan.Boundary...)
+	sort.Strings(fabric)
+
+	sources := st.Devices
+	if len(sources) == 0 {
+		for _, name := range fabric {
+			if _, ok := fibs[name]; ok {
+				sources = append(sources, name)
+			}
+		}
+	}
+
+	// Destinations: one host inside every originated server prefix,
+	// attributed to its owning device so self-pairs are skipped.
+	type dest struct {
+		owner string
+		ip    netpkt.IP
+	}
+	var dests []dest
+	for _, name := range fabric {
+		d := r.net.Device(name)
+		if d == nil {
+			continue
+		}
+		for _, p := range d.Originated {
+			host := p.Addr
+			if p.Len < 31 {
+				host++ // subnet base is not a host on broadcast subnets
+			}
+			dests = append(dests, dest{owner: name, ip: host})
+		}
+	}
+
+	var failures []string
+	w := batfish.NewWalker(fibs, cfgs)
+	for _, src := range sources {
+		for _, d := range dests {
+			if d.owner == src {
+				continue
+			}
+			if _, ok := w.Reachable(src, d.ip); !ok {
+				failures = append(failures, fmt.Sprintf("%s -> %s", src, d.ip))
+			}
+		}
+	}
+	return failures
+}
+
+// probePaths drains telemetry captures and returns the paths of the most
+// recently injected flow.
+func (r *runner) probePaths() []telemetry.Path {
+	all := telemetry.ComputePaths(r.em.PullPackets())
+	var out []telemetry.Path
+	for _, p := range all {
+		if p.Flow == r.lastFlow {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// filterDevices returns emulated device names scoped by an explicit list
+// or a vendor-image name, sorted.
+func (r *runner) filterDevices(devices []string, vendor string) []string {
+	if len(devices) > 0 {
+		out := append([]string(nil), devices...)
+		sort.Strings(out)
+		return out
+	}
+	var out []string
+	for _, name := range r.em.List() {
+		d := r.em.Devices[name]
+		if d == nil {
+			continue
+		}
+		if vendor == "" || d.Image.Name == vendor {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// applyACLPatch adds the patch's deny-source ACL to cfg and binds it
+// inbound on every non-loopback interface when requested.
+func applyACLPatch(cfg *config.DeviceConfig, patch *ACLPatch) error {
+	pfx, err := netpkt.ParsePrefix(patch.DenySrc)
+	if err != nil {
+		return fmt.Errorf("acl denySrc %q: %w", patch.DenySrc, err)
+	}
+	if cfg.ACLs == nil {
+		cfg.ACLs = map[string]*dataplane.ACL{}
+	}
+	cfg.ACLs[patch.Name] = &dataplane.ACL{
+		Name:          patch.Name,
+		Rules:         []dataplane.ACLRule{{Action: dataplane.ACLDeny, Src: &pfx}},
+		DefaultAction: dataplane.ACLPermit,
+	}
+	if patch.BindIngress {
+		for _, ic := range cfg.Interfaces {
+			if ic.Name == "lo" {
+				continue
+			}
+			cfg.Bindings = append(cfg.Bindings, config.ACLBinding{
+				ACLName: patch.Name, Interface: ic.Name, Direction: config.In,
+			})
+		}
+	}
+	return nil
+}
+
+// splitEndpoint parses "device:interface".
+func splitEndpoint(s string) (dev, iface string, err error) {
+	i := strings.LastIndex(s, ":")
+	if i <= 0 || i == len(s)-1 {
+		return "", "", fmt.Errorf("bad endpoint %q (want device:interface)", s)
+	}
+	return s[:i], s[i+1:], nil
+}

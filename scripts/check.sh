@@ -1,10 +1,19 @@
 #!/bin/sh
-# check.sh — tier-1 style verification: build, vet, full tests, and a race
-# pass over the packages that touch concurrency (the experiment worker pool,
-# the engine it drives, and the harness that fans runs across it).
+# check.sh — tier-1 style verification: formatting, build, vet, full tests,
+# and a race pass over the packages that touch concurrency (the experiment
+# worker pool, the engine it drives, the harness that fans runs across it,
+# and the scenario engine's chaos campaigns).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build ./..."
 go build ./...
@@ -17,5 +26,8 @@ go test ./...
 
 echo "== go test -race (concurrency-touching packages)"
 go test -race ./internal/parallel/ ./internal/sim/ ./internal/experiments/
+
+echo "== scenario smoke under -race"
+go test -race ./internal/scenario/ -run 'TestSmoke|TestChaosSerialParallelIdentical'
 
 echo "OK"
