@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is the engine's deterministic random source: a PCG-XSH-RR 64/32
+// generator (O'Neill 2014). Unlike math/rand's hidden-state sources, its
+// entire state is two exported-able words, so an engine snapshot can record
+// the stream position exactly and a forked engine resumes the identical
+// draw sequence — the reproducibility contract internal/checkpoint needs.
+//
+// The value methods mirror the subset of *math/rand.Rand the emulator uses
+// (Int63, Int63n, Float64, ExpFloat64), so call sites read the same.
+type RNG struct {
+	state uint64
+	inc   uint64 // stream selector; always odd
+}
+
+// pcgMult is the 64-bit LCG multiplier from the PCG reference implementation.
+const pcgMult = 6364136223846793005
+
+// defaultStream is the default PCG sequence constant (the reference
+// implementation's initseq), pre-shifted into its odd form.
+const defaultStream = 1442695040888963407 | 1
+
+// NewRNG returns a generator seeded with seed on the default stream,
+// following the reference pcg32_srandom initialization.
+func NewRNG(seed int64) *RNG {
+	r := &RNG{state: 0, inc: defaultStream}
+	r.next32()
+	r.state += uint64(seed)
+	r.next32()
+	return r
+}
+
+// RNGState is the full serializable state of an RNG. Restoring it with
+// NewRNGFrom yields a generator that continues the exact draw stream.
+type RNGState struct {
+	State uint64
+	Inc   uint64
+}
+
+// State captures the generator's current position.
+func (r *RNG) State() RNGState { return RNGState{State: r.state, Inc: r.inc} }
+
+// NewRNGFrom restores a generator from a captured state.
+func NewRNGFrom(st RNGState) *RNG { return &RNG{state: st.State, inc: st.Inc | 1} }
+
+// next32 advances the LCG state and returns the permuted 32-bit output.
+func (r *RNG) next32() uint32 {
+	old := r.state
+	r.state = old*pcgMult + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := int(old >> 59)
+	return bits.RotateLeft32(xorshifted, -rot)
+}
+
+// Uint64 returns a uniformly random 64-bit value (two PCG outputs).
+func (r *RNG) Uint64() uint64 {
+	hi := uint64(r.next32())
+	lo := uint64(r.next32())
+	return hi<<32 | lo
+}
+
+// Int63 returns a uniformly random non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Int63n returns a uniformly random value in [0, n). It panics if n <= 0.
+// Like math/rand, it rejects the biased tail rather than folding it in.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with n <= 0")
+	}
+	if n&(n-1) == 0 { // power of two
+		return r.Int63() & (n - 1)
+	}
+	max := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := r.Int63()
+	for v > max {
+		v = r.Int63()
+	}
+	return v % n
+}
+
+// Float64 returns a uniformly random value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1, by
+// inversion sampling (simpler than math/rand's ziggurat and exactly
+// reproducible from the state words alone).
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}

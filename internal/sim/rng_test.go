@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: %d != %d", i, x, y)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided on %d/100 draws", same)
+	}
+}
+
+func TestRNGStateRoundTrip(t *testing.T) {
+	r := NewRNG(7)
+	// Burn a mixed prefix so the state is mid-stream.
+	for i := 0; i < 17; i++ {
+		r.Int63()
+	}
+	r.Int63n(1000)
+	r.Float64()
+	r.ExpFloat64()
+
+	st := r.State()
+	clone := NewRNGFrom(st)
+	for i := 0; i < 1000; i++ {
+		if x, y := r.Uint64(), clone.Uint64(); x != y {
+			t.Fatalf("restored stream diverged at draw %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+func TestRNGInt63nBounds(t *testing.T) {
+	r := NewRNG(1)
+	for _, n := range []int64{1, 2, 3, 7, 1000, 1 << 40, (1 << 62) + 12345} {
+		for i := 0; i < 200; i++ {
+			v := r.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	r.Int63n(0)
+}
+
+func TestRNGDistributionsSane(t *testing.T) {
+	r := NewRNG(99)
+	const n = 100_000
+	var sumF, sumE float64
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sumF += f
+		e := r.ExpFloat64()
+		if e < 0 {
+			t.Fatalf("ExpFloat64 = %v negative", e)
+		}
+		sumE += e
+	}
+	if mean := sumF / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+	if mean := sumE / n; mean < 0.98 || mean > 1.02 {
+		t.Fatalf("ExpFloat64 mean %v, want ~1", mean)
+	}
+}
+
+func TestEngineSnapshotRestore(t *testing.T) {
+	e := NewEngine(5)
+	var fired []Time
+	e.After(10*time.Millisecond, func() { fired = append(fired, e.Now()) })
+	e.After(20*time.Millisecond, func() { fired = append(fired, e.Now()) })
+	if _, err := e.Snapshot(); err == nil {
+		t.Fatal("snapshot of non-quiescent engine succeeded")
+	}
+	e.Run(0)
+
+	st, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Now != e.Now() || st.Fired != e.Fired() {
+		t.Fatalf("snapshot %+v does not match engine now=%s fired=%d", st, e.Now(), e.Fired())
+	}
+
+	// The restored engine and the original must produce identical futures:
+	// same clock, same jitter draws, same fired counts.
+	f := NewEngineFrom(st)
+	if f.Now() != e.Now() || f.Fired() != e.Fired() || f.Pending() != 0 {
+		t.Fatalf("restored engine now=%s fired=%d pending=%d, want now=%s fired=%d pending=0",
+			f.Now(), f.Fired(), f.Pending(), e.Now(), e.Fired())
+	}
+	for i := 0; i < 100; i++ {
+		je := e.Jitter(time.Second, time.Minute)
+		jf := f.Jitter(time.Second, time.Minute)
+		if je != jf {
+			t.Fatalf("jitter draw %d diverged: %s != %s", i, je, jf)
+		}
+	}
+	var a, b []Time
+	e.After(time.Second, func() { a = append(a, e.Now()) })
+	f.After(time.Second, func() { b = append(b, f.Now()) })
+	e.Run(0)
+	f.Run(0)
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Fatalf("restored schedule diverged: %v vs %v", a, b)
+	}
+	if e.Fired() != f.Fired() {
+		t.Fatalf("fired counters diverged: %d vs %d", e.Fired(), f.Fired())
+	}
+}
+
+func TestEngineSeqPreservedAcrossSnapshot(t *testing.T) {
+	// Two events at the same instant tie-break on seq; a restored engine
+	// must continue the sequence so FIFO order is preserved.
+	e := NewEngine(3)
+	e.After(time.Millisecond, func() {})
+	e.Run(0)
+	st, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewEngineFrom(st)
+	var order []int
+	f.At(f.Now().Add(time.Second), func() { order = append(order, 1) })
+	f.At(f.Now().Add(time.Second), func() { order = append(order, 2) })
+	f.Run(0)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("FIFO order broken after restore: %v", order)
+	}
+}

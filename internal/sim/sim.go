@@ -11,7 +11,6 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 )
 
@@ -190,7 +189,7 @@ type Engine struct {
 	queue  eventQueue
 	free   []*event // recycled events, bounded by maxFreeEvents
 	seq    uint64
-	rng    *rand.Rand
+	rng    *RNG
 	fired  uint64
 	maxed  bool
 	halted bool
@@ -200,7 +199,37 @@ type Engine struct {
 // Two engines built with the same seed and fed the same schedule produce
 // identical executions.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// EngineState is the serializable scalar state of a quiescent engine: the
+// clock, the scheduling and fired counters, and the RNG stream position.
+// It deliberately excludes the event queue — an engine can only be
+// snapshotted when the queue is empty, because pending events are closures
+// that cannot be duplicated into another run.
+type EngineState struct {
+	Now   Time
+	Seq   uint64
+	Fired uint64
+	RNG   RNGState
+}
+
+// Snapshot captures the engine's state. It fails unless the engine is
+// quiescent (no pending events): quiescence is the contract that makes a
+// restored engine's future identical to the original's.
+func (e *Engine) Snapshot() (EngineState, error) {
+	if len(e.queue) != 0 {
+		return EngineState{}, fmt.Errorf("sim: cannot snapshot engine with %d pending events", len(e.queue))
+	}
+	return EngineState{Now: e.now, Seq: e.seq, Fired: e.fired, RNG: e.rng.State()}, nil
+}
+
+// NewEngineFrom restores an engine from a snapshot. The restored engine has
+// an empty queue, the captured clock/counters, and an RNG that continues
+// the captured draw stream — scheduling the same events on it produces the
+// same execution the original engine would have produced.
+func NewEngineFrom(st EngineState) *Engine {
+	return &Engine{now: st.Now, seq: st.Seq, fired: st.Fired, rng: NewRNGFrom(st.RNG)}
 }
 
 // Now returns the current virtual time.
@@ -209,7 +238,7 @@ func (e *Engine) Now() Time { return e.now }
 // Rand exposes the engine's deterministic random source. All randomness in
 // an emulation (boot jitter, failure injection, ECMP seeds) must come from
 // here to keep runs reproducible.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+func (e *Engine) Rand() *RNG { return e.rng }
 
 // Pending reports the number of live events still queued. Canceled events
 // are removed from the queue eagerly, so they never count.
