@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -68,6 +69,8 @@ func main() {
 	n := flag.Int("n", 20, "chaos: number of fault sequences")
 	workers := flag.Int("workers", 0, "chaos: worker pool size (0 = all cores, 1 = serial)")
 	faults := flag.Int("faults", 6, "chaos: fault events per sequence")
+	reuse := flag.Bool("reuse", false, "chaos: converge the base fabric once and fork it per run")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the command to `file`")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -75,6 +78,17 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	seedSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "seed" {
@@ -113,7 +127,7 @@ func main() {
 			base = sp
 		}
 		cfg := crystalnet.CampaignConfig{
-			N: *n, Seed: *seed, FaultsPerRun: *faults, Workers: *workers,
+			N: *n, Seed: *seed, FaultsPerRun: *faults, Workers: *workers, Reuse: *reuse,
 		}
 		rep, err := crystalnet.ChaosCampaign(base, cfg)
 		if err != nil {

@@ -206,6 +206,9 @@ type (
 	ScenarioImage = scenario.ImageRef
 	// ScenarioReport is a run's structured JSON-ready outcome.
 	ScenarioReport = scenario.Report
+	// ConvergedScenario is a reusable converged baseline: Converge once,
+	// then fork per variant instead of re-converging (see ConvergeScenario).
+	ConvergedScenario = scenario.Converged
 	// CampaignConfig parameterizes a chaos campaign.
 	CampaignConfig = scenario.CampaignConfig
 	// CampaignReport aggregates a campaign's per-run reports.
@@ -221,6 +224,13 @@ func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data)
 // RunScenario executes a rehearsal spec and returns its report.
 func RunScenario(sp *Scenario, opts ScenarioOptions) (*ScenarioReport, error) {
 	return scenario.Run(sp, opts)
+}
+
+// ConvergeScenario builds sp's fabric and drives it to route-ready once,
+// returning a baseline whose Run method forks the converged emulation per
+// variant. Forked reports are byte-identical to fresh same-seed runs.
+func ConvergeScenario(sp *Scenario, opts ScenarioOptions) (*ConvergedScenario, error) {
+	return scenario.Converge(sp, opts)
 }
 
 // ChaosCampaign expands a base spec into seeded fault sequences and runs

@@ -19,6 +19,7 @@ import (
 	"crystalnet/internal/netpkt"
 	"crystalnet/internal/rib"
 	"crystalnet/internal/topo"
+	"crystalnet/internal/trie"
 )
 
 // maxRounds bounds the synchronous convergence loop; eBGP path lengths are
@@ -429,25 +430,83 @@ func Reachable(fibs map[string]rib.Snapshot, cfgs map[string]*config.DeviceConfi
 }
 
 // Walker answers repeated reachability queries against one pulled state.
-// It hoists the interface-owner index out of the per-query path, which is
-// what makes fabric-wide sweeps (every device x every prefix) affordable.
+// It hoists the interface-owner index out of the per-query path and builds
+// a longest-prefix-match trie per device the first time that device is
+// walked through, which is what makes fabric-wide sweeps (every device x
+// every prefix x every hop) affordable. The lazy indexing makes a Walker
+// unsafe for concurrent use; build one per goroutine.
 type Walker struct {
 	fibs map[string]rib.Snapshot
 	cfgs map[string]*config.DeviceConfig
 	// owner maps a session/interface IP to the device that owns it (to
 	// follow next hops).
 	owner map[netpkt.IP]string
+	// lpm holds the per-device longest-prefix-match index, built on first
+	// lookup (a sweep rarely routes through every device it starts from).
+	lpm map[string]*trie.Trie[*rib.Entry]
+	// live, when set, resolves lookups against live FIB tries instead of
+	// indexed snapshots (see NewLiveWalker).
+	live LookupFunc
+	// devIdx interns device names so Delivered's memo can be a flat array
+	// per destination instead of a string-keyed map.
+	devIdx map[string]int
+	// verdicts memoizes Delivered per (dst, device): 0 unknown, 1
+	// delivered, 2 undelivered. Fabric walks from different sources
+	// converge onto the same downstream devices after a hop or two, so a
+	// sweep resolves each (device, dst) pair once.
+	verdicts map[netpkt.IP][]int8
+	// visited is Delivered's scratch path buffer (reused across queries;
+	// Walkers are single-goroutine).
+	visited []int
 }
+
+// LookupFunc resolves a longest-prefix match in one device's forwarding
+// state; it must return false for unknown devices.
+type LookupFunc func(dev string, dst netpkt.IP) (*rib.Entry, bool)
 
 // NewWalker indexes pulled FIBs and configurations for repeated queries.
 func NewWalker(fibs map[string]rib.Snapshot, cfgs map[string]*config.DeviceConfig) *Walker {
-	w := &Walker{fibs: fibs, cfgs: cfgs, owner: map[netpkt.IP]string{}}
+	w := &Walker{
+		fibs: fibs, cfgs: cfgs,
+		owner:  map[netpkt.IP]string{},
+		lpm:    map[string]*trie.Trie[*rib.Entry]{},
+		devIdx: make(map[string]int, len(cfgs)),
+	}
 	for name, c := range cfgs {
+		w.devIdx[name] = len(w.devIdx)
 		for _, ic := range c.Interfaces {
 			w.owner[ic.Addr.Addr] = name
 		}
 	}
 	return w
+}
+
+// NewLiveWalker answers queries straight off live per-device FIB tries
+// (device FIBs are tries already, so re-indexing pulled snapshots would
+// only duplicate them). The caller guarantees the forwarding state does
+// not change for the walker's lifetime — sweeps between mutations qualify.
+func NewLiveWalker(fn LookupFunc, cfgs map[string]*config.DeviceConfig) *Walker {
+	w := NewWalker(nil, cfgs)
+	w.live = fn
+	return w
+}
+
+// lookup longest-prefix-matches dst in a device's FIB snapshot, indexing
+// the snapshot on first use.
+func (w *Walker) lookup(dev string, dst netpkt.IP) (*rib.Entry, bool) {
+	if w.live != nil {
+		return w.live(dev, dst)
+	}
+	t, ok := w.lpm[dev]
+	if !ok {
+		t = trie.New[*rib.Entry]()
+		for _, e := range w.fibs[dev] {
+			t.Insert(e.Prefix, e)
+		}
+		w.lpm[dev] = t
+	}
+	_, e, ok := t.Lookup(dst)
+	return e, ok
 }
 
 // Reachable walks from a device toward an address, returning the device
@@ -457,38 +516,85 @@ func (w *Walker) Reachable(from string, dst netpkt.IP) ([]string, bool) {
 	var path []string
 	for hops := 0; hops < 64; hops++ {
 		path = append(path, cur)
-		c := w.cfgs[cur]
-		if c != nil {
-			for _, p := range c.Networks {
-				if p.Contains(dst) {
-					return path, true
-				}
-			}
-		}
-		var best *rib.Entry
-		for _, e := range w.fibs[cur] {
-			if e.Prefix.Contains(dst) && (best == nil || e.Prefix.Len > best.Prefix.Len) {
-				best = e
-			}
-		}
-		if best == nil || len(best.NextHops) == 0 {
-			return path, false
-		}
-		nh := best.NextHops[0]
-		if nh.IP == 0 {
-			// Connected: delivered if someone owns it, else it is a host.
-			next, ok := w.owner[dst]
-			if !ok {
-				return path, true
-			}
-			cur = next
-			continue
-		}
-		next, ok := w.owner[nh.IP]
-		if !ok {
-			return path, false
+		next, delivered, ok := w.hop(cur, dst)
+		if delivered || !ok {
+			return path, delivered
 		}
 		cur = next
 	}
 	return path, false
+}
+
+// Delivered reports whether a packet from a device reaches dst without
+// materializing the hop path — the allocation-free form fabric-wide
+// sweeps use (they only name the endpoints of failing pairs). The verdict
+// is memoized for every device on the walked path: each device forwards
+// toward dst the same way no matter who handed it the packet, so once the
+// verdict downstream of a device is known it holds for all later sources.
+func (w *Walker) Delivered(from string, dst netpkt.IP) bool {
+	if w.verdicts == nil {
+		w.verdicts = map[netpkt.IP][]int8{}
+	}
+	vs := w.verdicts[dst]
+	if vs == nil {
+		vs = make([]int8, len(w.devIdx))
+		w.verdicts[dst] = vs
+	}
+	w.visited = w.visited[:0]
+	cur := from
+	delivered := false
+	for hops := 0; hops < 64; hops++ {
+		if idx, tracked := w.devIdx[cur]; tracked {
+			if v := vs[idx]; v != 0 {
+				delivered = v == 1
+				break
+			}
+			w.visited = append(w.visited, idx)
+		}
+		next, del, ok := w.hop(cur, dst)
+		if del || !ok {
+			delivered = del
+			break
+		}
+		cur = next
+		// Falling out of the loop means a forwarding loop: every visited
+		// device keeps cycling, so the undelivered verdict is right for
+		// all of them.
+	}
+	verdict := int8(2)
+	if delivered {
+		verdict = 1
+	}
+	for _, idx := range w.visited {
+		vs[idx] = verdict
+	}
+	return delivered
+}
+
+// hop advances one forwarding step from cur toward dst: delivered reports
+// local origination or delivery to an unowned (host) address, ok=false a
+// forwarding failure, and otherwise next is the downstream device.
+func (w *Walker) hop(cur string, dst netpkt.IP) (next string, delivered, ok bool) {
+	if c := w.cfgs[cur]; c != nil {
+		for _, p := range c.Networks {
+			if p.Contains(dst) {
+				return "", true, true
+			}
+		}
+	}
+	best, ok := w.lookup(cur, dst)
+	if !ok || len(best.NextHops) == 0 {
+		return "", false, false
+	}
+	nh := best.NextHops[0]
+	if nh.IP == 0 {
+		// Connected: delivered if no device owns it (it is a host).
+		next, ok := w.owner[dst]
+		if !ok {
+			return "", true, true
+		}
+		return next, false, true
+	}
+	next, ok = w.owner[nh.IP]
+	return next, false, ok
 }

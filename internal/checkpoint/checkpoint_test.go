@@ -1,0 +1,54 @@
+package checkpoint
+
+import (
+	"testing"
+	"time"
+
+	"crystalnet/internal/sim"
+)
+
+func TestCloneMap(t *testing.T) {
+	if CloneMap[string, int](nil) != nil {
+		t.Fatal("nil map did not stay nil")
+	}
+	m := map[string]int{"a": 1, "b": 2}
+	c := CloneMap(m)
+	c["a"] = 9
+	c["c"] = 3
+	if m["a"] != 1 || len(m) != 2 {
+		t.Fatalf("clone mutation leaked into source: %v", m)
+	}
+}
+
+func TestCloneSlice(t *testing.T) {
+	if CloneSlice[[]int](nil) != nil {
+		t.Fatal("nil slice did not stay nil")
+	}
+	s := []int{1, 2, 3}
+	c := CloneSlice(s)
+	c[0] = 9
+	if s[0] != 1 {
+		t.Fatalf("clone mutation leaked into source: %v", s)
+	}
+}
+
+func TestSnapshotCarriesEngineState(t *testing.T) {
+	eng := sim.NewEngine(11)
+	eng.After(time.Second, func() {})
+	eng.Run(0)
+	st, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{TakenAt: st.Now, Engine: st, Origin: "opaque"}
+	forked := sim.NewEngineFrom(snap.Engine)
+	if forked.Now() != eng.Now() || forked.Fired() != eng.Fired() {
+		t.Fatalf("forked engine now=%s fired=%d, want now=%s fired=%d",
+			forked.Now(), forked.Fired(), eng.Now(), eng.Fired())
+	}
+	for i := 0; i < 50; i++ {
+		if a, b := eng.Jitter(time.Second, time.Minute), forked.Jitter(time.Second, time.Minute); a != b {
+			t.Fatalf("draw %d diverged: %s != %s", i, a, b)
+		}
+	}
+}

@@ -587,17 +587,22 @@ func (em *Emulation) Save() *State {
 // snapshot — the "no change in network behaviour" check of §7 Case 2.
 func (em *Emulation) DiffAgainst(s *State) map[string][]rib.Diff {
 	out := map[string][]rib.Diff{}
-	cur := em.PullFIBs()
-	names := map[string]bool{}
-	for n := range cur {
-		names[n] = true
+	live := map[string]bool{}
+	for name, d := range em.Devices {
+		if d.FIB() == nil {
+			continue
+		}
+		live[name] = true
+		// Merge-diff against the live table: no full FIB pull per check.
+		if diffs := d.FIB().DiffAgainst(s.FIBs[name], rib.ECMPAware); len(diffs) > 0 {
+			out[name] = diffs
+		}
 	}
-	for n := range s.FIBs {
-		names[n] = true
-	}
-	for n := range names {
-		if d := rib.Compare(s.FIBs[n], cur[n], rib.ECMPAware); len(d) > 0 {
-			out[n] = d
+	for n, snap := range s.FIBs {
+		if !live[n] {
+			if d := rib.Compare(snap, nil, rib.ECMPAware); len(d) > 0 {
+				out[n] = d
+			}
 		}
 	}
 	return out

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"crystalnet/internal/firmware"
+	"crystalnet/internal/parallel"
+)
+
+func TestCheckpointRequiresQuiescence(t *testing.T) {
+	o, em := fullEmulation(t, Options{Seed: 1})
+	o.Eng.After(time.Hour, func() {})
+	if _, err := em.Checkpoint(); err == nil {
+		t.Fatal("checkpoint with pending events succeeded")
+	}
+	o.Eng.Run(0)
+	snap, err := em.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.TakenAt != o.Eng.Now() {
+		t.Fatalf("TakenAt = %s, want %s", snap.TakenAt, o.Eng.Now())
+	}
+	em.Clear(nil)
+	o.Eng.Run(0)
+	if _, err := em.Checkpoint(); err == nil {
+		t.Fatal("checkpoint of cleared emulation succeeded")
+	}
+}
+
+// cutFirstUplink downs tor-p0-0's first uplink and converges — the same
+// operation applied to two emulations that should behave identically.
+func cutFirstUplink(t *testing.T, em *Emulation) {
+	t.Helper()
+	n := em.Network()
+	intf := n.MustDevice("tor-p0-0").Interfaces[0]
+	peer := intf.Peer
+	if err := em.SetLink("tor-p0-0", intf.Name, peer.Device.Name, peer.Name, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := em.RunUntilConverged(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkMatchesFreshRun(t *testing.T) {
+	// A forked run and a fresh same-seed run must be indistinguishable:
+	// same virtual clock, same fired counts, same FIBs after the same op.
+	_, fresh := fullEmulation(t, Options{Seed: 7})
+	o, parent := fullEmulation(t, Options{Seed: 7})
+	snap, err := parent.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := o.Fork(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := forked.Orchestrator().Eng
+	if fe.Now() != o.Eng.Now() || fe.Fired() != o.Eng.Fired() {
+		t.Fatalf("forked engine now=%s fired=%d, want now=%s fired=%d",
+			fe.Now(), fe.Fired(), o.Eng.Now(), o.Eng.Fired())
+	}
+	if !reflect.DeepEqual(forked.PullFIBs(), parent.PullFIBs()) {
+		t.Fatal("forked FIBs differ from parent at snapshot point")
+	}
+
+	cutFirstUplink(t, fresh)
+	cutFirstUplink(t, forked)
+
+	if fe.Now() != fresh.Orchestrator().Eng.Now() {
+		t.Fatalf("virtual clocks diverged after op: forked %s, fresh %s",
+			fe.Now(), fresh.Orchestrator().Eng.Now())
+	}
+	if fe.Fired() != fresh.Orchestrator().Eng.Fired() {
+		t.Fatalf("fired counts diverged after op: forked %d, fresh %d",
+			fe.Fired(), fresh.Orchestrator().Eng.Fired())
+	}
+	if !reflect.DeepEqual(forked.PullFIBs(), fresh.PullFIBs()) {
+		t.Fatal("forked FIBs differ from fresh run after identical op")
+	}
+	if !reflect.DeepEqual(forked.PullStates(), fresh.PullStates()) {
+		t.Fatal("forked device stats differ from fresh run after identical op")
+	}
+	// The parent was never touched by the fork's activity.
+	if got := parent.Devices["tor-p0-0"].PullStates().Established; got != 2 {
+		t.Fatalf("parent sessions = %d after fork ran a failover, want 2", got)
+	}
+}
+
+func TestForkIsDeepCopy(t *testing.T) {
+	o, parent := fullEmulation(t, Options{Seed: 3})
+	snap, err := parent.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := o.Fork(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, d := range forked.Devices {
+		if d == parent.Devices[name] {
+			t.Fatalf("device %s shared with parent", name)
+		}
+	}
+	for name, ct := range forked.containers {
+		if ct == parent.containers[name] {
+			t.Fatalf("container %s shared with parent", name)
+		}
+	}
+	for name, vm := range forked.vmOf {
+		if vm == parent.vmOf[name] {
+			t.Fatalf("VM of %s shared with parent", name)
+		}
+	}
+	if forked.Fabric == parent.Fabric || forked.orch == parent.orch || forked.orch.Eng == parent.orch.Eng {
+		t.Fatal("fabric/orchestrator/engine shared with parent")
+	}
+	// Heavy immutable state is shared copy-on-write.
+	if forked.Network() != parent.Network() {
+		t.Fatal("topology should be shared, not copied")
+	}
+	for name, cfg := range forked.prep.Configs {
+		if cfg != parent.prep.Configs[name] {
+			t.Fatalf("config %s copied, want shared pointer", name)
+		}
+	}
+}
+
+func TestClearAfterForkLeavesParentUntouched(t *testing.T) {
+	o, parent := fullEmulation(t, Options{Seed: 5})
+	snap, err := parent.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := o.Fork(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentNow := o.Eng.Now()
+	parentFIBs := parent.PullFIBs()
+
+	done := false
+	forked.Clear(func() { done = true })
+	forked.Orchestrator().Eng.Run(0)
+	if !done || forked.ClearedAt == 0 {
+		t.Fatal("forked clear did not complete")
+	}
+	for name, d := range forked.Devices {
+		if d.State() != firmware.DeviceStopped {
+			t.Fatalf("forked %s not stopped after clear", name)
+		}
+	}
+
+	// The parent saw none of it: clock untouched, devices running,
+	// containers attached, link fabric intact, VMs still up.
+	if o.Eng.Now() != parentNow || o.Eng.Pending() != 0 {
+		t.Fatalf("parent engine advanced by forked clear: now=%s pending=%d", o.Eng.Now(), o.Eng.Pending())
+	}
+	for name, d := range parent.Devices {
+		if d.State() != firmware.DeviceRunning {
+			t.Fatalf("parent %s state %v after forked clear", name, d.State())
+		}
+	}
+	for name, ct := range parent.containers {
+		if !ct.Attached() {
+			t.Fatalf("parent container %s detached by forked clear", name)
+		}
+		if parent.Fabric.Host(ct.Host.Name).Container(name) != ct {
+			t.Fatalf("parent container %s removed from its host", name)
+		}
+	}
+	for k, vl := range parent.vlinks {
+		if !vl.Up() {
+			t.Fatalf("parent link %v downed by forked clear", k)
+		}
+	}
+	if got := o.Cloud.Running(); got == 0 {
+		t.Fatal("parent VMs stopped by forked clear")
+	}
+	if !reflect.DeepEqual(parent.PullFIBs(), parentFIBs) {
+		t.Fatal("parent FIBs changed by forked clear")
+	}
+}
+
+func TestConcurrentForksIndependent(t *testing.T) {
+	// N forks of one snapshot run concurrently (the chaos-campaign shape);
+	// go test -race over this package is part of scripts/check.sh.
+	o, parent := fullEmulation(t, Options{Seed: 9})
+	snap, err := parent.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		established int
+		now         string
+	}
+	results := parallel.Map(4, 4, func(i int) result {
+		forked, err := o.Fork(snap)
+		if err != nil {
+			t.Error(err)
+			return result{}
+		}
+		cutFirstUplink(t, forked)
+		return result{
+			established: forked.Devices["tor-p0-0"].PullStates().Established,
+			now:         forked.Orchestrator().Eng.Now().String(),
+		}
+	})
+	for i, r := range results {
+		if r != results[0] {
+			t.Fatalf("fork %d diverged: %+v vs %+v", i, r, results[0])
+		}
+		if r.established != 1 {
+			t.Fatalf("fork %d established = %d after uplink cut, want 1", i, r.established)
+		}
+	}
+}

@@ -219,3 +219,28 @@ func (f *Forwarder) ecmpIndex(m *PacketMeta, n int) int {
 	h.Write(b[:])
 	return int(h.Sum32() % uint32(n))
 }
+
+// Clone returns a forwarder over fib (the forked emulation's own table)
+// with the same local-address set, ACL bindings and ECMP hash seed as f.
+// ACL objects are shared between forks: once bound they are immutable —
+// config reloads build new ACLs and rebind rather than editing rules in
+// place — so sharing preserves behavior while keeping forks cheap.
+func (f *Forwarder) Clone(fib *rib.FIB) *Forwarder {
+	c := &Forwarder{
+		fib:      fib,
+		local:    make(map[netpkt.IP]bool, len(f.local)),
+		inACL:    make(map[string]*ACL, len(f.inACL)),
+		outACL:   make(map[string]*ACL, len(f.outACL)),
+		ecmpSeed: f.ecmpSeed,
+	}
+	for ip := range f.local {
+		c.local[ip] = true
+	}
+	for name, acl := range f.inACL {
+		c.inACL[name] = acl
+	}
+	for name, acl := range f.outACL {
+		c.outACL[name] = acl
+	}
+	return c
+}

@@ -217,3 +217,18 @@ func (s *Session) execShow(f []string) (string, error) {
 		return "", fmt.Errorf("%% unknown show target %q", f[0])
 	}
 }
+
+// Fork returns a copy of the plane with every endpoint's device pointer
+// swapped via devOf (device name -> the forked emulation's device).
+// Addressing, credentials and VM placement are value state and copy
+// directly; the source plane is read strictly read-only.
+func (p *Plane) Fork(devOf func(name string) *firmware.Device) *Plane {
+	c := NewPlane()
+	for name, ep := range p.byName {
+		ne := &endpoint{dev: devOf(name), ip: ep.ip, cred: ep.cred, vmName: ep.vmName}
+		c.byName[name] = ne
+		c.byIP[ep.ip] = ne
+		c.vmOf[name] = ep.vmName
+	}
+	return c
+}

@@ -378,3 +378,22 @@ func ReferenceSwitchProgram(trapARP, trapBGP bool) *Program {
 	prog.AddTable("ipv4_lpm", Action{Kind: ActDrop})
 	return prog
 }
+
+// Clone returns a copy of the pipeline with independent hit/miss counters.
+// Table entries are shared between clones: entries are immutable once
+// installed (reprogramming replaces tables, it does not edit rows), so the
+// entry slices are copied but the *Entry values are not.
+func (p *Program) Clone() *Program {
+	c := &Program{Name: p.Name, Tables: make([]*Table, len(p.Tables))}
+	for i, t := range p.Tables {
+		nt := &Table{
+			Name:          t.Name,
+			entries:       append([]*Entry(nil), t.entries...),
+			DefaultAction: t.DefaultAction,
+			Hits:          t.Hits,
+			Misses:        t.Misses,
+		}
+		c.Tables[i] = nt
+	}
+	return c
+}

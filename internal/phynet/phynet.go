@@ -377,3 +377,6 @@ func (f *Fabric) Validate() error {
 	}
 	return nil
 }
+
+// Container returns the named container on this host, or nil.
+func (h *Host) Container(name string) *Container { return h.containers[name] }

@@ -311,6 +311,43 @@ func Compare(left, right Snapshot, mode CompareMode) []Diff {
 	return out
 }
 
+// DiffAgainst diffs a saved snapshot (sorted, as Snapshot returns it)
+// against the FIB's live contents in one ordered merge — no pulled copy of
+// the table, no index maps — producing exactly what Compare(base, Snapshot())
+// would. Only differing entries are cloned; the common case (no drift)
+// allocates nothing. Diff output order matches Compare's sorted order
+// because both sides are walked in ascending (address, length) order.
+func (f *FIB) DiffAgainst(base Snapshot, mode CompareMode) []Diff {
+	var out []Diff
+	i := 0
+	f.Walk(func(e *Entry) bool {
+		for i < len(base) && prefixBefore(base[i].Prefix, e.Prefix) {
+			out = append(out, Diff{Kind: DiffMissingRight, Prefix: base[i].Prefix, Left: base[i]})
+			i++
+		}
+		if i < len(base) && base[i].Prefix == e.Prefix {
+			if !nextHopsMatch(base[i].NextHops, e.NextHops, mode) {
+				out = append(out, Diff{Kind: DiffNextHops, Prefix: e.Prefix, Left: base[i], Right: e.Clone()})
+			}
+			i++
+		} else {
+			out = append(out, Diff{Kind: DiffMissingLeft, Prefix: e.Prefix, Right: e.Clone()})
+		}
+		return true
+	})
+	for ; i < len(base); i++ {
+		out = append(out, Diff{Kind: DiffMissingRight, Prefix: base[i].Prefix, Left: base[i]})
+	}
+	return out
+}
+
+func prefixBefore(a, b netpkt.Prefix) bool {
+	if a.Addr != b.Addr {
+		return a.Addr < b.Addr
+	}
+	return a.Len < b.Len
+}
+
 func indexSnapshot(s Snapshot) map[netpkt.Prefix]*Entry {
 	m := make(map[netpkt.Prefix]*Entry, len(s))
 	for _, e := range s {
@@ -351,4 +388,22 @@ func nextHopsMatch(a, b []NextHop, mode CompareMode) bool {
 		return false
 	}
 	return false
+}
+
+// Clone returns a deep copy of the FIB for a forked emulation. Each entry
+// is copied exactly once and the copy is shared between the new trie and
+// its byPrefix mirror, preserving the aliasing invariant Install maintains
+// (InstallHops mutates the entry it finds in byPrefix and relies on the
+// trie seeing the change).
+func (f *FIB) Clone() *FIB {
+	c := &FIB{
+		byPrefix: make(map[netpkt.Prefix]*Entry, len(f.byPrefix)),
+		Capacity: f.Capacity,
+	}
+	c.t = f.t.Clone(func(p netpkt.Prefix, e *Entry) *Entry {
+		ce := e.Clone()
+		c.byPrefix[p] = ce
+		return ce
+	})
+	return c
 }

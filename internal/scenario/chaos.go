@@ -24,6 +24,12 @@ type CampaignConfig struct {
 	Workers int
 	// MaxEvents caps each convergence drive (0 = default).
 	MaxEvents uint64
+	// Reuse converges the base fabric once and forks the checkpoint per
+	// run instead of re-converging N times (crystalctl chaos -reuse).
+	// Fault sequences and reports are unchanged except for the per-run
+	// seed field: every run shares the campaign seed's convergence, and
+	// the fault draws keep their own per-run derived seeds.
+	Reuse bool
 }
 
 // Fault kinds the expander draws from.
@@ -76,15 +82,41 @@ func Chaos(base *Spec, cfg CampaignConfig) (*CampaignReport, error) {
 		return nil, err
 	}
 
-	reports := parallel.Map(cfg.N, cfg.Workers, func(i int) *Report {
-		seed := runSeed(cfg.Seed, i)
-		sp := expandRun(base, cand, i, seed, cfg.FaultsPerRun)
-		rep, err := Run(sp, Options{MaxEvents: cfg.MaxEvents})
-		if err != nil {
-			return &Report{Scenario: sp.Name, Seed: seed, Error: err.Error()}
+	var reports []*Report
+	if cfg.Reuse {
+		for i := range base.Steps {
+			if base.Steps[i].Op == OpAttachDevice {
+				return nil, fmt.Errorf("scenario: chaos Reuse is incompatible with attach-device steps (forks share the topology)")
+			}
 		}
-		return rep
-	})
+		// Converge the base fabric exactly once, then fork it per run. The
+		// emulation seed is the campaign seed for every run (they share one
+		// convergence); only the fault draws stay per-run.
+		convBase := base.Clone()
+		convBase.Seed = cfg.Seed
+		conv, err := Converge(convBase, Options{MaxEvents: cfg.MaxEvents})
+		if err != nil {
+			return nil, err
+		}
+		reports = parallel.Map(cfg.N, cfg.Workers, func(i int) *Report {
+			sp := expandRun(base, cand, i, cfg.Seed, runSeed(cfg.Seed, i), cfg.FaultsPerRun)
+			rep, err := conv.Run(sp, Options{MaxEvents: cfg.MaxEvents})
+			if err != nil {
+				return &Report{Scenario: sp.Name, Seed: cfg.Seed, Error: err.Error()}
+			}
+			return rep
+		})
+	} else {
+		reports = parallel.Map(cfg.N, cfg.Workers, func(i int) *Report {
+			seed := runSeed(cfg.Seed, i)
+			sp := expandRun(base, cand, i, seed, seed, cfg.FaultsPerRun)
+			rep, err := Run(sp, Options{MaxEvents: cfg.MaxEvents})
+			if err != nil {
+				return &Report{Scenario: sp.Name, Seed: seed, Error: err.Error()}
+			}
+			return rep
+		})
+	}
 
 	out := &CampaignReport{Scenario: base.Name, Seed: cfg.Seed, Runs: reports}
 	for _, r := range reports {
@@ -148,12 +180,14 @@ func faultCandidates(net *topo.Network) (*candidates, error) {
 // faultsPerRun randomized fault events (each followed by convergence and
 // the invariant sweep), then a final FIB diff against the initial baseline
 // — every fault in the campaign is repaired, so a clean run ends exactly
-// where it started.
-func expandRun(base *Spec, cand *candidates, i int, seed int64, faultsPerRun int) *Spec {
+// where it started. emSeed seeds the emulation (the spec's seed field);
+// faultSeed seeds the fault draws. Classic campaigns pass the same per-run
+// seed for both; reuse campaigns share one emulation seed across runs.
+func expandRun(base *Spec, cand *candidates, i int, emSeed, faultSeed int64, faultsPerRun int) *Spec {
 	sp := base.Clone()
 	sp.Name = fmt.Sprintf("%s/run-%03d", base.Name, i)
-	sp.Seed = seed
-	rng := rand.New(rand.NewSource(seed))
+	sp.Seed = emSeed
+	rng := rand.New(rand.NewSource(faultSeed))
 
 	up, down := true, false
 	kills := 0

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+
+	"crystalnet/internal/checkpoint"
+	"crystalnet/internal/config"
+	"crystalnet/internal/core"
+	"crystalnet/internal/topo"
+)
+
+// Converged is a reusable converged baseline for a spec: the fabric has
+// been built, mocked up and driven to route-ready exactly once, and every
+// call to Run forks it instead of re-converging. The N-run campaign cost
+// drops from N×(mockup+convergence+steps) to 1×convergence + N×steps.
+//
+// A Converged value may serve concurrent Run calls (the chaos campaign
+// forks from worker goroutines); the underlying emulation is only ever
+// read. It must not be used after its parent emulation is advanced,
+// mutated or cleared by other means.
+type Converged struct {
+	seed int64
+	orch *core.Orchestrator
+	snap *checkpoint.Snapshot
+	net  *topo.Network
+
+	origConfigs map[string]*config.DeviceConfig
+	baseline    *core.State
+	step0       StepResult
+	header      Report
+}
+
+// Converge builds sp's fabric and drives it to route-ready, returning a
+// forkable baseline. Only the mockup prologue runs — sp's steps are left
+// for Converged.Run, which executes them on a fork. The spec's invariants
+// are swept once at the converged point and recorded in the step-0 result
+// every forked report starts from, exactly as a fresh run would record
+// them.
+func Converge(sp *Spec, opts Options) (*Converged, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	seed := resolveSeed(sp, opts)
+	r := &runner{
+		sp: sp, opts: opts,
+		origConfigs: map[string]*config.DeviceConfig{},
+		baselines:   map[string]*core.State{},
+		report:      &Report{Scenario: sp.Name, Seed: seed},
+	}
+	if err := r.mockup(seed); err != nil {
+		return nil, err
+	}
+	snap, err := r.em.Checkpoint()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: checkpoint: %w", sp.Name, err)
+	}
+	header := *r.report
+	header.Steps = nil
+	return &Converged{
+		seed:        seed,
+		orch:        r.orch,
+		snap:        snap,
+		net:         r.net,
+		origConfigs: r.origConfigs,
+		baseline:    r.baselines[DefaultBaseline],
+		step0:       r.report.Steps[0],
+		header:      header,
+	}, nil
+}
+
+// Run forks the converged emulation and drives sp's steps on the fork.
+// The report is byte-identical to what a fresh Run of sp with the same
+// seed would produce: the forked engine continues the captured clock, FIFO
+// sequence and RNG stream, so every step latency, jitter draw and event
+// count matches.
+//
+// sp must resolve to the Converged's seed (forking cannot replay a
+// different convergence) and must not contain attach-device steps — those
+// grow the topology, which forks share copy-on-write with the parent.
+func (cv *Converged) Run(sp *Spec, opts Options) (*Report, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if seed := resolveSeed(sp, opts); seed != cv.seed {
+		return nil, fmt.Errorf("scenario %s: seed %d does not match converged baseline seed %d",
+			sp.Name, seed, cv.seed)
+	}
+	for i := range sp.Steps {
+		if sp.Steps[i].Op == OpAttachDevice {
+			return nil, fmt.Errorf("scenario %s: attach-device cannot run on a forked emulation (mutates the shared topology)", sp.Name)
+		}
+	}
+	em, err := cv.orch.Fork(cv.snap)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		sp: sp, opts: opts,
+		orch:        em.Orchestrator(),
+		em:          em,
+		net:         cv.net,
+		origConfigs: cv.origConfigs,
+		baselines:   map[string]*core.State{DefaultBaseline: cv.baseline},
+		report: &Report{
+			Scenario:      sp.Name,
+			Seed:          cv.seed,
+			Fabric:        cv.header.Fabric,
+			Emulated:      cv.header.Emulated,
+			Speakers:      cv.header.Speakers,
+			VMs:           cv.header.VMs,
+			NetworkReady:  cv.header.NetworkReady,
+			RouteReady:    cv.header.RouteReady,
+			MockupLatency: cv.header.MockupLatency,
+		},
+	}
+	step0 := cv.step0
+	step0.Diffs = checkpoint.CloneSlice(cv.step0.Diffs)
+	step0.Invariants = checkpoint.CloneSlice(cv.step0.Invariants)
+	r.report.Steps = append(r.report.Steps, step0)
+	return r.drive(), nil
+}
+
+// resolveSeed applies the same seed-resolution rules as Run: override,
+// spec, then the default seed 1.
+func resolveSeed(sp *Spec, opts Options) int64 {
+	seed := sp.Seed
+	if opts.SeedOverride != nil {
+		seed = *opts.SeedOverride
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}

@@ -69,13 +69,7 @@ func Run(sp *Spec, opts Options) (*Report, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	seed := sp.Seed
-	if opts.SeedOverride != nil {
-		seed = *opts.SeedOverride
-	}
-	if seed == 0 {
-		seed = 1
-	}
+	seed := resolveSeed(sp, opts)
 
 	r := &runner{
 		sp: sp, opts: opts,
@@ -86,9 +80,14 @@ func Run(sp *Spec, opts Options) (*Report, error) {
 	if err := r.mockup(seed); err != nil {
 		return nil, err
 	}
+	return r.drive(), nil
+}
 
-	for i := range sp.Steps {
-		st := &sp.Steps[i]
+// drive executes every spec step against the runner's emulation and seals
+// the report — the shared back half of Run and Converged.Run.
+func (r *runner) drive() *Report {
+	for i := range r.sp.Steps {
+		st := &r.sp.Steps[i]
 		res := StepResult{Index: i + 1, Op: st.Op, Label: st.Label}
 		start := r.orch.Eng.Now()
 		res.Start = start.String()
@@ -102,7 +101,7 @@ func Run(sp *Spec, opts Options) (*Report, error) {
 	r.report.VirtualDuration = r.orch.Eng.Now().Sub(r.em.MockupStart).String()
 	r.report.Alerts = append([]string(nil), r.em.Alerts...)
 	r.report.Passed = r.passed()
-	return r.report, nil
+	return r.report
 }
 
 // passed folds every step and invariant outcome.
@@ -704,7 +703,6 @@ func (r *runner) liveConfigs() map[string]*config.DeviceConfig {
 // pairs. Speakers are excluded on both sides: they replay recorded
 // boundary routes, not their own state. st.Devices scopes the source set.
 func (r *runner) blackholes(st *Step) []string {
-	fibs := r.em.PullFIBs()
 	cfgs := r.liveConfigs()
 	plan := r.em.Plan()
 	fabric := append(append([]string{}, plan.Internal...), plan.Boundary...)
@@ -713,7 +711,7 @@ func (r *runner) blackholes(st *Step) []string {
 	sources := st.Devices
 	if len(sources) == 0 {
 		for _, name := range fabric {
-			if _, ok := fibs[name]; ok {
+			if r.em.Devices[name] != nil {
 				sources = append(sources, name)
 			}
 		}
@@ -740,14 +738,23 @@ func (r *runner) blackholes(st *Step) []string {
 		}
 	}
 
+	// The sweep walks the devices' live FIB tries in place: the emulation
+	// is quiescent between steps, so snapshotting every FIB just to index
+	// the snapshots again would double the sweep's cost for nothing.
 	var failures []string
-	w := batfish.NewWalker(fibs, cfgs)
+	w := batfish.NewLiveWalker(func(dev string, dst netpkt.IP) (*rib.Entry, bool) {
+		d := r.em.Devices[dev]
+		if d == nil {
+			return nil, false
+		}
+		return d.FIB().Lookup(dst)
+	}, cfgs)
 	for _, src := range sources {
 		for _, d := range dests {
 			if d.owner == src {
 				continue
 			}
-			if _, ok := w.Reachable(src, d.ip); !ok {
+			if !w.Delivered(src, d.ip) {
 				failures = append(failures, fmt.Sprintf("%s -> %s", src, d.ip))
 			}
 		}

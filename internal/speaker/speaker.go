@@ -147,3 +147,10 @@ func (s *Speaker) Received() []ReceivedRoute {
 	})
 	return out
 }
+
+// Fork rewraps a forked emulation's clone of the speaker device with a
+// copy of the announcement list. Announcement values share their recorded
+// AS paths, which are immutable once loaded.
+func (s *Speaker) Fork(dev *firmware.Device) *Speaker {
+	return &Speaker{Dev: dev, Announcements: append([]Announcement(nil), s.Announcements...)}
+}

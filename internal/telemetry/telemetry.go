@@ -169,3 +169,10 @@ func LoadShare(records []firmware.CaptureRecord, devices []string) map[string]fl
 	}
 	return out
 }
+
+// Fork returns an injector on eng that continues the flow-ID sequence, so
+// probes injected after a fork receive the same IDs a fresh run with the
+// same history would assign.
+func (i *Injector) Fork(eng *sim.Engine) *Injector {
+	return &Injector{eng: eng, nextFlow: i.nextFlow}
+}

@@ -215,6 +215,28 @@ func (t *Trie[V]) walk(n *node[V], fn func(p netpkt.Prefix, v V) bool) bool {
 	return t.walk(n.children[1], fn)
 }
 
+// Clone returns a structural copy of the trie, with every stored value
+// passed through cloneV (identity for shared values, a deep copy for owned
+// ones). Copying nodes directly skips the per-prefix descents and path
+// splits a rebuild via Insert would redo, which is what keeps forking a
+// fabric's worth of FIBs cheap.
+func (t *Trie[V]) Clone(cloneV func(p netpkt.Prefix, v V) V) *Trie[V] {
+	return &Trie[V]{root: cloneNode(t.root, cloneV), size: t.size}
+}
+
+func cloneNode[V any](n *node[V], cloneV func(p netpkt.Prefix, v V) V) *node[V] {
+	if n == nil {
+		return nil
+	}
+	c := &node[V]{prefix: n.prefix, hasValue: n.hasValue}
+	if n.hasValue {
+		c.value = cloneV(n.prefix, n.value)
+	}
+	c.children[0] = cloneNode(n.children[0], cloneV)
+	c.children[1] = cloneNode(n.children[1], cloneV)
+	return c
+}
+
 // WalkCovered visits every stored prefix contained in p (including p itself).
 func (t *Trie[V]) WalkCovered(p netpkt.Prefix, fn func(q netpkt.Prefix, v V) bool) {
 	p.Addr &= maskTab[p.Len]

@@ -1,0 +1,30 @@
+#!/bin/sh
+# bench.sh — one-shot benchmark capture: runs the crystalbench experiment
+# suite (-quick -json) plus the Go micro-benchmarks for the hot packages,
+# and merges both into BENCH_<date>.json (gitignored) via cmd/benchjson.
+#
+#   scripts/bench.sh            # quick suite (~15 s)
+#   BENCH_FULL=1 scripts/bench.sh   # full Figure 8 sweep (minutes)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%Y%m%d).json"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== crystalbench -json" >&2
+go build -o "$tmp/crystalbench" ./cmd/crystalbench
+if [ "${BENCH_FULL:-}" = "1" ]; then
+    "$tmp/crystalbench" -json >"$tmp/crystal.json"
+else
+    "$tmp/crystalbench" -quick -json >"$tmp/crystal.json"
+fi
+
+echo "== go micro-benchmarks" >&2
+go test -run '^$' -bench . -benchmem -benchtime 0.2s \
+    ./internal/trie/ ./internal/sim/ ./internal/bgp/ \
+    ./internal/dataplane/ ./internal/p4/ >"$tmp/micro.txt"
+
+go run ./cmd/benchjson -crystal "$tmp/crystal.json" <"$tmp/micro.txt" >"$out"
+echo "wrote $out" >&2

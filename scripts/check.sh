@@ -25,9 +25,15 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency-touching packages)"
-go test -race ./internal/parallel/ ./internal/sim/ ./internal/experiments/
+go test -race ./internal/parallel/ ./internal/sim/ ./internal/experiments/ ./internal/checkpoint/
+
+echo "== concurrent-fork smoke under -race"
+go test -race ./internal/core/ -run 'TestCheckpoint|TestFork|TestClearAfterFork|TestConcurrentForks'
 
 echo "== scenario smoke under -race"
 go test -race ./internal/scenario/ -run 'TestSmoke|TestChaosSerialParallelIdentical'
+
+echo "== fork-determinism smoke under -race (fresh vs forked, byte-compare)"
+go test -race ./internal/scenario/ -run 'TestForkedRunMatchesFreshRun|TestChaosReuse'
 
 echo "OK"
