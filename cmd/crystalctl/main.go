@@ -14,12 +14,20 @@
 //	mockup                    mock up, converge, print metrics and a state summary
 //	fibs <device>             mock up and dump a device's forwarding table
 //	exec <device> <cmd>       mock up and run a CLI command over the mgmt plane
-//	trace <device> <ip>       mock up and trace a probe packet from a device
+//	trace [-out FILE] [<device> <ip>]
+//	                          mock up under the Monitor-plane tracer; optionally
+//	                          inject a probe; write a Perfetto-loadable trace
 //	run-scenario <file.json>  execute a rehearsal spec, print its JSON report
 //	chaos [file.json]         run a chaos campaign from a base spec (default: sdc)
 //
 // run-scenario and chaos build their fabric from the spec file; the
 // topology flags (-dc, -ldcscale, -must, -vms) apply to the other commands.
+//
+// Observability (docs/OBSERVABILITY.md): -trace FILE writes a Chrome
+// trace_event file of the run (open in Perfetto), -tracejson FILE the raw
+// span/metric JSON, and -obs prints a text summary to stderr. All three
+// work with every emulating command; chaos writes one trace-viewer process
+// per campaign run.
 package main
 
 import (
@@ -44,7 +52,10 @@ Commands:
   mockup                    mock up, converge, print metrics and a state summary
   fibs <device>             mock up and dump a device's forwarding table
   exec <device> <command>   mock up and run a CLI command over the mgmt plane
-  trace <device> <ip>       mock up and trace a probe packet from a device
+  trace [-out FILE] [<device> <ip>]
+                            mock up under the Monitor-plane tracer, optionally
+                            inject a probe packet, and write a Chrome trace
+                            file that opens in Perfetto (ui.perfetto.dev)
   run-scenario <file.json>  execute a rehearsal spec, print its JSON report
                             (exits 1 if the scenario fails)
   chaos [file.json]         expand a base spec into -n seeded fault sequences
@@ -52,11 +63,45 @@ Commands:
                             sdc fabric with the no-blackhole invariant)
 
 run-scenario and chaos take their fabric from the spec file; -dc, -ldcscale,
--must and -vms apply to the other commands.
+-must and -vms apply to the other commands. -trace/-tracejson/-obs attach
+the Monitor-plane tracer to any emulating command (docs/OBSERVABILITY.md).
 
 Flags:
 `)
 	flag.PrintDefaults()
+}
+
+// subUsage is the per-command usage text printed when a command's own
+// arguments are wrong — the global flag dump would bury the one line the
+// operator needs.
+var subUsage = map[string]string{
+	"fibs": `crystalctl [flags] fibs <device>
+  Mock up the fabric and dump <device>'s forwarding table.`,
+	"exec": `crystalctl [flags] exec <device> <command...>
+  Mock up the fabric and run a CLI command on <device> over the
+  management plane (e.g. "show bgp"; vmb devices use "display").`,
+	"trace": `crystalctl [flags] trace [-out FILE] [<device> <ip>]
+  Mock up the fabric under the Monitor-plane tracer. With <device> <ip>,
+  also inject a probe packet and print its reconstructed path. -out
+  writes the Chrome trace_event file (open in Perfetto); the global
+  -trace/-tracejson/-obs flags work here too.`,
+	"run-scenario": `crystalctl [flags] run-scenario <file.json>
+  Execute a rehearsal spec and print its JSON report. Exits 1 if the
+  scenario fails.`,
+}
+
+// need enforces a subcommand's argument shape, printing that command's own
+// usage block on violation instead of the global one.
+func need(cmd string, ok bool) {
+	if ok {
+		return
+	}
+	u, found := subUsage[cmd]
+	if !found {
+		u = "crystalctl [flags] " + cmd
+	}
+	fmt.Fprintf(os.Stderr, "usage: %s\n", u)
+	os.Exit(2)
 }
 
 func main() {
@@ -71,6 +116,9 @@ func main() {
 	faults := flag.Int("faults", 6, "chaos: fault events per sequence")
 	reuse := flag.Bool("reuse", false, "chaos: converge the base fabric once and fork it per run")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the command to `file`")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run to `file` (open in Perfetto)")
+	traceJSON := flag.String("tracejson", "", "write the raw span/event/metric trace JSON to `file`")
+	obsSummary := flag.Bool("obs", false, "print a Monitor-plane trace summary to stderr")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -78,6 +126,7 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -96,14 +145,53 @@ func main() {
 		}
 	})
 
+	// The trace subcommand takes its own flag set: crystalctl trace -out
+	// mockup.trace [<device> <ip>].
+	if cmd == "trace" {
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		out := fs.String("out", "", "write the Chrome trace_event file to `file`")
+		fs.Usage = func() { need("trace", false) }
+		fs.Parse(args)
+		args = fs.Args()
+		need("trace", len(args) == 0 || len(args) == 2)
+		if *out != "" {
+			*traceOut = *out
+		}
+	}
+
+	// Validate the command and its argument shape before any (expensive)
+	// emulation work, so a typo fails in milliseconds with the right usage
+	// text.
+	switch cmd {
+	case "plan", "mockup", "trace", "chaos":
+	case "fibs":
+		need(cmd, len(args) >= 1)
+	case "exec":
+		need(cmd, len(args) >= 2)
+	case "run-scenario":
+		need(cmd, len(args) >= 1)
+	default:
+		fmt.Fprintf(os.Stderr, "crystalctl: unknown command %q\n\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	// tracing reports whether any Monitor-plane output was requested; rec
+	// is nil otherwise, which keeps the emulation on the untraced fast path.
+	tracing := *traceOut != "" || *traceJSON != "" || *obsSummary
+	var rec *crystalnet.Recorder
+	if tracing {
+		rec = crystalnet.NewRecorder()
+	}
+
 	switch cmd {
 	case "run-scenario":
-		need(flag.NArg() >= 2, "run-scenario <file.json>")
-		sp, err := crystalnet.LoadScenario(flag.Arg(1))
+		need(cmd, len(args) >= 1)
+		sp, err := crystalnet.LoadScenario(args[0])
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts := crystalnet.ScenarioOptions{}
+		opts := crystalnet.ScenarioOptions{Rec: rec}
 		if seedSet {
 			opts.SeedOverride = seed
 		}
@@ -113,14 +201,15 @@ func main() {
 		}
 		os.Stdout.Write(rep.JSON())
 		fmt.Fprintln(os.Stderr, rep.Summary())
+		exportTrace(rec, *traceOut, *traceJSON, *obsSummary)
 		if !rep.Passed {
 			os.Exit(1)
 		}
 		return
 	case "chaos":
 		base := defaultChaosBase()
-		if flag.NArg() >= 2 {
-			sp, err := crystalnet.LoadScenario(flag.Arg(1))
+		if len(args) >= 1 {
+			sp, err := crystalnet.LoadScenario(args[0])
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -128,6 +217,7 @@ func main() {
 		}
 		cfg := crystalnet.CampaignConfig{
 			N: *n, Seed: *seed, FaultsPerRun: *faults, Workers: *workers, Reuse: *reuse,
+			Trace: tracing,
 		}
 		rep, err := crystalnet.ChaosCampaign(base, cfg)
 		if err != nil {
@@ -135,6 +225,7 @@ func main() {
 		}
 		os.Stdout.Write(rep.JSON())
 		fmt.Fprintf(os.Stderr, "%s: %d/%d runs passed\n", rep.Scenario, rep.Passed, rep.Passed+rep.Failed)
+		exportCampaignTraces(rep, *traceOut, *traceJSON, *obsSummary)
 		if rep.Failed > 0 {
 			os.Exit(1)
 		}
@@ -159,7 +250,7 @@ func main() {
 	if *must != "" {
 		mustList = strings.Split(*must, ",")
 	}
-	o := crystalnet.New(crystalnet.Options{Seed: *seed, VMCount: *vms})
+	o := crystalnet.New(crystalnet.Options{Seed: *seed, VMCount: *vms, Rec: rec})
 	prep, err := o.Prepare(crystalnet.PrepareInput{Network: network, MustEmulate: mustList})
 	if err != nil {
 		log.Fatal(err)
@@ -205,47 +296,125 @@ func main() {
 		fmt.Printf("devices running: %d/%d, BGP sessions established: %d, total FIB entries: %d\n",
 			running, len(em.Devices), established/2, fibTotal)
 	case "fibs":
-		need(flag.NArg() >= 2, "fibs <device>")
-		snap, ok := em.PullFIBs()[flag.Arg(1)]
+		need(cmd, len(args) >= 1)
+		snap, ok := em.PullFIBs()[args[0]]
 		if !ok {
-			log.Fatalf("no device %q", flag.Arg(1))
+			log.Fatalf("no device %q", args[0])
 		}
 		fmt.Print(snap.String())
 	case "exec":
-		need(flag.NArg() >= 3, "exec <device> <command>")
-		s, err := em.Login(flag.Arg(1))
+		need(cmd, len(args) >= 2)
+		s, err := em.Login(args[0])
 		if err != nil {
 			log.Fatal(err)
 		}
-		out, err := s.Exec(strings.Join(flag.Args()[2:], " "))
+		out, err := s.Exec(strings.Join(args[1:], " "))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(out)
 	case "trace":
-		need(flag.NArg() >= 3, "trace <device> <ip>")
-		from := flag.Arg(1)
-		dev, ok := em.Devices[from]
-		if !ok {
-			log.Fatalf("no device %q", from)
-		}
-		if _, err := em.InjectPackets(from, crystalnet.PacketMeta{
-			Src: dev.Config().Loopback.Addr, Dst: crystalnet.MustParseIP(flag.Arg(2)),
-			Proto: crystalnet.ProtoUDP, SrcPort: 33434, DstPort: 33434, TTL: 32,
-		}, 1, time.Millisecond); err != nil {
-			log.Fatal(err)
-		}
-		em.RunUntilConverged(0)
-		for _, p := range crystalnet.ComputePaths(em.PullPackets()) {
-			fmt.Printf("%s (delivered: %v)\n", p, p.Delivered)
+		if len(args) == 2 {
+			from := args[0]
+			dev, ok := em.Devices[from]
+			if !ok {
+				log.Fatalf("no device %q", from)
+			}
+			if _, err := em.InjectPackets(from, crystalnet.PacketMeta{
+				Src: dev.Config().Loopback.Addr, Dst: crystalnet.MustParseIP(args[1]),
+				Proto: crystalnet.ProtoUDP, SrcPort: 33434, DstPort: 33434, TTL: 32,
+			}, 1, time.Millisecond); err != nil {
+				log.Fatal(err)
+			}
+			em.RunUntilConverged(0)
+			for _, p := range crystalnet.ComputePaths(em.PullPackets()) {
+				fmt.Printf("%s (delivered: %v)\n", p, p.Delivered)
+			}
 		}
 	default:
-		log.Fatalf("unknown command %q", cmd)
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	em.Clear(nil)
 	o.Eng.Run(0)
 	o.Destroy(prep)
+	exportTrace(rec, *traceOut, *traceJSON, *obsSummary)
+}
+
+// exportTrace writes one run's trace in the requested formats. A nil
+// recorder (tracing off) writes nothing.
+func exportTrace(rec *crystalnet.Recorder, chromePath, jsonPath string, summary bool) {
+	if rec == nil {
+		return
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (open in ui.perfetto.dev)\n", chromePath)
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			log.Fatalf("-tracejson: %v", err)
+		}
+		if err := rec.WriteJSON(f); err != nil {
+			log.Fatalf("-tracejson: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "trace: wrote %s\n", jsonPath)
+	}
+	if summary {
+		fmt.Fprint(os.Stderr, rec.Summary())
+	}
+}
+
+// exportCampaignTraces writes a chaos campaign's per-run traces: the Chrome
+// file carries one trace-viewer process per run, so Perfetto shows the
+// whole campaign side by side. -tracejson and -obs emit per-run sections.
+func exportCampaignTraces(rep *crystalnet.CampaignReport, chromePath, jsonPath string, summary bool) {
+	if len(rep.Traces) == 0 {
+		return
+	}
+	if chromePath != "" {
+		parts := make([]crystalnet.TracePart, len(rep.Traces))
+		for i, r := range rep.Traces {
+			parts[i] = crystalnet.TracePart{Name: rep.Runs[i].Scenario, Rec: r}
+		}
+		f, err := os.Create(chromePath)
+		if err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		if err := crystalnet.WriteChromeTrace(f, parts...); err != nil {
+			log.Fatalf("-trace: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d runs; open in ui.perfetto.dev)\n", chromePath, len(rep.Traces))
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			log.Fatalf("-tracejson: %v", err)
+		}
+		for _, r := range rep.Traces {
+			if err := r.WriteJSON(f); err != nil {
+				log.Fatalf("-tracejson: %v", err)
+			}
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d runs, concatenated)\n", jsonPath, len(rep.Traces))
+	}
+	if summary {
+		for i, r := range rep.Traces {
+			fmt.Fprintf(os.Stderr, "--- %s ---\n%s", rep.Runs[i].Scenario, r.Summary())
+		}
+	}
 }
 
 // defaultChaosBase is the campaign base when no spec file is given: the
@@ -259,11 +428,5 @@ func defaultChaosBase() *crystalnet.Scenario {
 		Topology:    scenario.Topology{DC: "sdc", WANPerGroup: 2},
 		Invariants:  []crystalnet.ScenarioStep{{Op: scenario.OpAssertNoBlackhole}},
 		Steps:       []crystalnet.ScenarioStep{{Op: scenario.OpWaitConverge}},
-	}
-}
-
-func need(ok bool, usage string) {
-	if !ok {
-		log.Fatalf("usage: crystalctl %s", usage)
 	}
 }

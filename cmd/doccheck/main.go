@@ -1,0 +1,117 @@
+// Command doccheck is the repository's documentation gate: it walks every
+// package under internal/ (plus the facade and cmd/) and fails if any
+// package lacks a package-level doc comment, or if an internal package's
+// doc comment never points the reader at the design documentation
+// (DESIGN.md or docs/). scripts/check.sh runs it, so an undocumented
+// package fails verification the same way a broken test does.
+//
+// Usage:
+//
+//	doccheck [root]
+//
+// root defaults to the current directory and must be the repository root
+// (the directory holding go.mod).
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %s is not a module root: %v\n", root, err)
+		os.Exit(2)
+	}
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	var problems []string
+	for _, dir := range dirs {
+		doc, err := packageDoc(dir)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", dir, err))
+			continue
+		}
+		rel, _ := filepath.Rel(root, dir)
+		if doc == "" {
+			problems = append(problems, fmt.Sprintf("%s: no package doc comment", rel))
+			continue
+		}
+		// Internal packages carry the architecture: their doc comments must
+		// route the reader to the design docs.
+		if strings.HasPrefix(rel, "internal"+string(filepath.Separator)) &&
+			!strings.Contains(doc, "DESIGN.md") && !strings.Contains(doc, "docs/") {
+			problems = append(problems, fmt.Sprintf("%s: package doc does not reference DESIGN.md or docs/", rel))
+		}
+	}
+
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "doccheck:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d packages documented\n", len(dirs))
+}
+
+// packageDirs lists every directory under root that contains non-test Go
+// files, skipping vendored and hidden trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// packageDoc parses a directory's Go files (comments only) and returns the
+// package doc comment, preferring the file named after common doc-comment
+// conventions — in practice exactly one file per package carries it.
+func packageDoc(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return "", err
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				return f.Doc.Text(), nil
+			}
+		}
+	}
+	return "", nil
+}

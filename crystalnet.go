@@ -29,6 +29,8 @@
 package crystalnet
 
 import (
+	"io"
+
 	"crystalnet/internal/bgp"
 	"crystalnet/internal/boundary"
 	"crystalnet/internal/config"
@@ -36,6 +38,7 @@ import (
 	"crystalnet/internal/dataplane"
 	"crystalnet/internal/firmware"
 	"crystalnet/internal/netpkt"
+	"crystalnet/internal/obs"
 	"crystalnet/internal/rib"
 	"crystalnet/internal/scenario"
 	"crystalnet/internal/speaker"
@@ -237,6 +240,29 @@ func ConvergeScenario(sp *Scenario, opts ScenarioOptions) (*ConvergedScenario, e
 // them across a worker pool; reports are identical for any worker count.
 func ChaosCampaign(base *Scenario, cfg CampaignConfig) (*CampaignReport, error) {
 	return scenario.Chaos(base, cfg)
+}
+
+// Monitor plane: the deterministic tracer and metrics registry
+// (internal/obs, docs/OBSERVABILITY.md). Pass a Recorder via Options.Rec or
+// ScenarioOptions.Rec to trace a run; nil keeps tracing disabled at zero
+// cost. Traces are stamped with simulation virtual time, so identically-
+// seeded runs export byte-identical files.
+type (
+	// Recorder collects sim-time-stamped spans, events and metrics.
+	Recorder = obs.Recorder
+	// TracePart names one recorder in a multi-run Chrome trace export
+	// (one trace-viewer process per part).
+	TracePart = obs.Part
+)
+
+// NewRecorder returns an empty trace recorder.
+func NewRecorder() *Recorder { return obs.New() }
+
+// WriteChromeTrace renders one or more recorders as a single Chrome
+// trace_event file — open it in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Campaigns pass one part per run.
+func WriteChromeTrace(w io.Writer, parts ...TracePart) error {
+	return obs.WriteChrome(w, parts...)
 }
 
 // VendorImage returns a vendor's device software image by exact version;

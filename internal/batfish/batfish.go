@@ -9,6 +9,9 @@
 // argument for why emulation is needed. The Table 1 coverage experiment
 // runs incident scenarios under both this baseline and the CrystalNet
 // emulation and records who detects what.
+//
+// The coverage argument is tabulated in DESIGN.md §3 (Table 1 row of the
+// per-experiment index).
 package batfish
 
 import (

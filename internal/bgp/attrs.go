@@ -7,6 +7,9 @@
 // The fabric follows RFC 7938 ("BGP in large-scale data centers"): eBGP on
 // every link, next-hop-self everywhere, unique ASNs per the topo package's
 // AS plan.
+//
+// DESIGN.md §2 places this substrate in the system inventory; §4 records the
+// RFC-condensation decisions.
 package bgp
 
 import (

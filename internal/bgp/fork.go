@@ -70,6 +70,10 @@ func (r *Router) Fork(clock Clock, hooks Hooks) *Router {
 		nextID:       r.nextID,
 		prependCache: map[*ASPath]*ASPath{},
 	}
+	// The fork's hooks carry the fork's recorder, whose counters already
+	// hold the parent's totals (obs.Recorder.Fork deep-copies them), so
+	// rebinding continues the series rather than restarting it.
+	c.bindMetrics(hooks.Rec)
 
 	// Peers first: Loc-RIB candidates reference them by pointer.
 	c.peers = make([]*Peer, len(r.peers))

@@ -145,6 +145,7 @@ func (p *Peer) sendOpen() {
 
 func (p *Peer) send(data []byte) {
 	p.MsgsOut++
+	p.router.mMsgsOut.Inc()
 	p.router.hooks.SendToPeer(p.Index, data)
 }
 
@@ -200,6 +201,7 @@ func (p *Peer) reset(reason string) {
 // protocol errors reset the session, as a NOTIFICATION would.
 func (p *Peer) HandleMessage(data []byte) {
 	p.MsgsIn++
+	p.router.mMsgsIn.Inc()
 	d, err := Decode(data)
 	if err != nil {
 		p.send(MarshalNotification(&Notification{Code: NotifMsgHeader}))
@@ -292,6 +294,7 @@ func (p *Peer) handleUpdate(u *Update) {
 	}
 	for _, pfx := range u.Withdrawn {
 		p.WithdrawsIn++
+		p.router.mWithdrawsIn.Inc()
 		if _, ok := p.adjIn[pfx]; ok {
 			delete(p.adjIn, pfx)
 			p.router.removeCandidate(pfx, p)
@@ -306,6 +309,7 @@ func (p *Peer) handleUpdate(u *Update) {
 	}
 	for _, pfx := range u.NLRI {
 		p.RoutesIn++
+		p.router.mRoutesIn.Inc()
 		attrs, permit := p.Config.ImportPolicy.Apply(pfx, u.Attrs)
 		if !permit {
 			// Treat as unfeasible: remove any previous acceptance.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"crystalnet/internal/netpkt"
+	"crystalnet/internal/obs"
 	"crystalnet/internal/rib"
 )
 
@@ -82,6 +83,10 @@ type Hooks struct {
 	SessionEvent func(peerIdx int, state SessionState)
 	// Logf records diagnostics.
 	Logf func(format string, args ...any)
+	// Rec is the observability recorder; nil disables tracing. The router
+	// caches counter handles from it at construction, so per-message
+	// accounting is a nil check when tracing is off.
+	Rec *obs.Recorder
 }
 
 // candidate is one usable route for a prefix.
@@ -131,6 +136,21 @@ type Router struct {
 	// aggState tracks whether each configured aggregate is currently active
 	// and with which attribute set.
 	aggState []aggState
+
+	// Cached obs counter handles (nil when hooks.Rec is nil — Inc on a
+	// nil counter is a no-op, keeping the disabled path allocation-free).
+	mMsgsIn, mMsgsOut       *obs.Counter
+	mRoutesIn, mWithdrawsIn *obs.Counter
+	mDecisions              *obs.Counter
+}
+
+// bindMetrics caches the router's counter handles against rec (nil-safe).
+func (r *Router) bindMetrics(rec *obs.Recorder) {
+	r.mMsgsIn = rec.Counter("bgp.msgs_in", r.cfg.Name)
+	r.mMsgsOut = rec.Counter("bgp.msgs_out", r.cfg.Name)
+	r.mRoutesIn = rec.Counter("bgp.routes_in", r.cfg.Name)
+	r.mWithdrawsIn = rec.Counter("bgp.withdraws_in", r.cfg.Name)
+	r.mDecisions = rec.Counter("bgp.decisions", r.cfg.Name)
 }
 
 type aggState struct {
@@ -163,6 +183,7 @@ func New(cfg Config, clock Clock, hooks Hooks) *Router {
 	for _, a := range cfg.Aggregates {
 		r.aggState = append(r.aggState, aggState{spec: a})
 	}
+	r.bindMetrics(hooks.Rec)
 	return r
 }
 
@@ -371,6 +392,7 @@ func peerAddr(p *Peer) netpkt.IP {
 // decide recomputes best paths for p, reprograms the FIB and schedules
 // advertisements if the outcome changed.
 func (r *Router) decide(p netpkt.Prefix, e *ribEntry) {
+	r.mDecisions.Inc()
 	prevBestAttrs := e.lastBest
 	prevHops := e.installed
 

@@ -8,6 +8,9 @@
 // with static speakers (internal/speaker) while staying consistent with the
 // real network under arbitrary changes to the emulated devices — and what
 // cuts emulation cost by >90% (§8.4, Table 4).
+//
+// DESIGN.md §2 (core layer) and §3 (Figure 7, Table 4) map the theory to
+// experiments.
 package boundary
 
 import (

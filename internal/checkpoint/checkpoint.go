@@ -29,6 +29,8 @@
 // routing hooks (Hooks.InstallRoute and friends): consumers must not hold
 // references to hook arguments beyond the call, so attribute objects are
 // only reachable through the router structures the fork rewrites.
+//
+// DESIGN.md §6 is the full snapshot-model write-up this comment summarizes.
 package checkpoint
 
 import (

@@ -7,6 +7,9 @@
 // This replaces Azure in the paper's setup; latency and price constants are
 // calibrated to the numbers the paper reports (4-core/8GB at USD 0.20/hour,
 // ~100 USD/hour for a 500-VM L-DC emulation).
+//
+// DESIGN.md §1 records this substitution (simulated cloud for Azure); §3
+// indexes Figure 9.
 package cloud
 
 import (

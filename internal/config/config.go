@@ -8,6 +8,8 @@
 // vendor changed its ACL argument order between releases without
 // documenting it, so configs written for the old firmware parse incorrectly
 // on the new one.
+//
+// DESIGN.md §2 (substrates) and §4 cover the dialect-drift design decision.
 package config
 
 import (

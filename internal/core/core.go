@@ -4,6 +4,9 @@
 // vendor-group anti-affinity, mocks up the PhyNet overlay and the
 // management plane, boots firmware, surrounds the emulation with static
 // speakers, and exposes the Prepare/Mockup/Control/Monitor API of Table 2.
+//
+// DESIGN.md §2 (core layer) inventories what Prepare/Mockup build; the
+// Monitor plane it hosts is DESIGN.md §7 and docs/OBSERVABILITY.md.
 package core
 
 import (
@@ -16,6 +19,7 @@ import (
 	"crystalnet/internal/config"
 	"crystalnet/internal/firmware"
 	"crystalnet/internal/netpkt"
+	"crystalnet/internal/obs"
 	"crystalnet/internal/phynet"
 	"crystalnet/internal/sim"
 	"crystalnet/internal/speaker"
@@ -48,6 +52,11 @@ type Options struct {
 	// Credential is injected into every config (§6.1); defaults to
 	// "crystalnet-ops".
 	Credential string
+	// Rec enables the Monitor plane's deterministic tracer: spans, events
+	// and metrics stamped with engine virtual time (docs/OBSERVABILITY.md).
+	// nil disables tracing at zero cost. The recorder is bound to the
+	// orchestrator's engine and rides through checkpoint/fork.
+	Rec *obs.Recorder
 }
 
 func (o *Options) defaults() {
@@ -74,6 +83,7 @@ type Orchestrator struct {
 func New(opts Options) *Orchestrator {
 	opts.defaults()
 	eng := sim.NewEngine(opts.Seed)
+	eng.SetRecorder(opts.Rec)
 	return &Orchestrator{Eng: eng, Cloud: cloud.NewProvider(eng), opts: opts}
 }
 
@@ -230,6 +240,13 @@ func (o *Orchestrator) Prepare(in PrepareInput) (*Preparation, error) {
 
 	// 3. VM planning and spawning (§6.2 vendor-group anti-affinity).
 	o.planVMs(prep)
+	if rec := o.Eng.Recorder(); rec != nil {
+		rec.Event("phase", "prepare",
+			obs.Attr{K: "emulated", V: fmt.Sprint(plan.Scale().TotalEmulated)},
+			obs.Attr{K: "speakers", V: fmt.Sprint(len(plan.Speakers))},
+			obs.Attr{K: "vms", V: fmt.Sprint(len(prep.VMs()))})
+		rec.Gauge("vms", "").Set(float64(len(prep.VMs())))
+	}
 	return prep, nil
 }
 

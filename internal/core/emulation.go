@@ -68,6 +68,10 @@ type Emulation struct {
 	healthTick  *sim.Timer
 	healthArmed bool
 	cleared     bool
+	// phasesTraced latches once the phase/convergence spans are recorded so
+	// repeated RunUntilConverged calls (and forks of a traced parent) do
+	// not duplicate them.
+	phasesTraced bool
 
 	vmsPending    int
 	buildsPending int
@@ -241,7 +245,44 @@ func (em *Emulation) RunUntilConverged(maxEvents uint64) (Metrics, error) {
 	if _, err := em.orch.Eng.Run(maxEvents); err != nil {
 		return Metrics{}, err
 	}
+	em.tracePhases()
 	return em.Metrics(), nil
+}
+
+// tracePhases records the Mockup phase spans and the per-device
+// convergence timeline (the §8.1 / Figures 8–9 measurements) once the
+// network has converged. Spans are reconstructed post hoc from the
+// timeline the emulation already keeps — the intervals are only knowable
+// after quiescence — and latched so repeated convergence calls and forks
+// of a traced parent do not re-record them.
+func (em *Emulation) tracePhases() {
+	rec := em.orch.Eng.Recorder()
+	if rec == nil || em.phasesTraced || em.NetworkReadyAt == 0 {
+		return
+	}
+	em.phasesTraced = true
+	rec.SpanAt("phase", "network-ready", int64(em.MockupStart), int64(em.NetworkReadyAt))
+	var lastRoute sim.Time
+	names := make([]string, 0, len(em.Devices))
+	for n := range em.Devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d := em.Devices[n]
+		if d.LastFIBChange == 0 {
+			continue
+		}
+		// Per-device convergence: mockup start until the device's FIB last
+		// settled during bring-up.
+		rec.SpanAt("converge", n, int64(em.MockupStart), int64(d.LastFIBChange))
+		if d.LastFIBChange > lastRoute {
+			lastRoute = d.LastFIBChange
+		}
+	}
+	if lastRoute > em.NetworkReadyAt {
+		rec.SpanAt("phase", "route-ready", int64(em.NetworkReadyAt), int64(lastRoute))
+	}
 }
 
 // Metrics reports the emulation timeline so far.
@@ -652,7 +693,9 @@ func (em *Emulation) Plan() *boundary.Plan { return em.prep.Plan }
 // ---- health monitor and recovery (§6.2) ----
 
 func (em *Emulation) alert(format string, args ...any) {
-	em.Alerts = append(em.Alerts, fmt.Sprintf("[%s] ", em.orch.Eng.Now())+fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	em.orch.Eng.Recorder().Event("alert", msg)
+	em.Alerts = append(em.Alerts, fmt.Sprintf("[%s] ", em.orch.Eng.Now())+msg)
 }
 
 func (em *Emulation) scheduleHealthCheck() {
@@ -710,9 +753,12 @@ func (em *Emulation) onVMFailure(vm *cloud.VM) {
 				em.Devices[name].Boot(nil)
 				pending--
 				if pending == 0 {
-					em.recoveries = append(em.recoveries, em.orch.Eng.Now().Sub(start))
+					dur := em.orch.Eng.Now().Sub(start)
+					em.recoveries = append(em.recoveries, dur)
+					em.orch.Eng.Recorder().Histogram("vm.recovery_seconds", "").Observe(dur.Seconds())
+					em.orch.Eng.Recorder().SpanAt("recover", vm.Name, int64(start), int64(em.orch.Eng.Now()))
 					em.alert("VM %s recovered (%d devices reset in %s)",
-						vm.Name, len(affected), em.orch.Eng.Now().Sub(start))
+						vm.Name, len(affected), dur)
 				}
 			})
 		}
@@ -771,6 +817,7 @@ func (em *Emulation) VMName(device string) string {
 // onDone fires when every VM has finished clearing; ClearedAt records the
 // completion time.
 func (em *Emulation) Clear(onDone func()) {
+	clearStart := em.orch.Eng.Now()
 	em.cleared = true
 	em.healthArmed = false
 	if em.healthTick != nil {
@@ -815,6 +862,7 @@ func (em *Emulation) Clear(onDone func()) {
 				pending--
 				if pending == 0 {
 					em.ClearedAt = em.orch.Eng.Now()
+					em.orch.Eng.Recorder().SpanAt("phase", "clear", int64(clearStart), int64(em.ClearedAt))
 					if onDone != nil {
 						onDone()
 					}
@@ -824,6 +872,7 @@ func (em *Emulation) Clear(onDone func()) {
 	}
 	if pending == 0 {
 		em.ClearedAt = em.orch.Eng.Now()
+		em.orch.Eng.Recorder().SpanAt("phase", "clear", int64(clearStart), int64(em.ClearedAt))
 		if onDone != nil {
 			onDone()
 		}

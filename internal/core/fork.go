@@ -77,6 +77,11 @@ func (o *Orchestrator) Fork(snap *checkpoint.Snapshot) (*Emulation, error) {
 	}
 
 	eng := sim.NewEngineFrom(snap.Engine)
+	// The recorder forks with the engine, before any state that caches
+	// metric handles (device firmware) is copied: the fork's trace starts
+	// with everything recorded up to the snapshot and diverges from there,
+	// exactly like the rest of the emulation.
+	eng.SetRecorder(o.Eng.Recorder().Fork())
 	cloudFork, vmMap := o.Cloud.Fork(eng)
 	fabric, ifaceMap, ctMap := parent.Fabric.Fork(eng)
 
@@ -96,8 +101,9 @@ func (o *Orchestrator) Fork(snap *checkpoint.Snapshot) (*Emulation, error) {
 		NetworkReadyAt: parent.NetworkReadyAt,
 		ClearedAt:      parent.ClearedAt,
 
-		Alerts:     checkpoint.CloneSlice(parent.Alerts),
-		recoveries: checkpoint.CloneSlice(parent.recoveries),
+		Alerts:       checkpoint.CloneSlice(parent.Alerts),
+		recoveries:   checkpoint.CloneSlice(parent.recoveries),
+		phasesTraced: parent.phasesTraced,
 	}
 	for name, ct := range parent.containers {
 		em.containers[name] = ctMap[ct]

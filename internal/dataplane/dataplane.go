@@ -4,6 +4,9 @@
 // the InjectPackets/PullPackets telemetry APIs (§3.3) — the paper
 // explicitly does not model data-plane performance, only forwarding
 // behaviour, and neither does this engine.
+//
+// DESIGN.md §1 records the forwarding-only substitution; §2 places the
+// engine in the inventory.
 package dataplane
 
 import (

@@ -8,6 +8,9 @@
 // Each experiment returns structured results; Format* helpers render them
 // as the paper formats them. bench_test.go and cmd/crystalbench are thin
 // drivers over this package.
+//
+// DESIGN.md §3 is the per-experiment index mapping each function here to its
+// table or figure.
 package experiments
 
 import (

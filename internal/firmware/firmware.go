@@ -9,6 +9,9 @@
 // divergences are exactly the documented incident classes (aggregation
 // AS-path selection, FIB-overflow handling, ACL dialect drift, ARP trap
 // bugs, default-route bugs, crash-on-flap).
+//
+// DESIGN.md §1 records the synthetic-firmware substitution; §4 lists the
+// per-vendor divergences.
 package firmware
 
 import (
@@ -20,6 +23,7 @@ import (
 	"crystalnet/internal/config"
 	"crystalnet/internal/dataplane"
 	"crystalnet/internal/netpkt"
+	"crystalnet/internal/obs"
 	"crystalnet/internal/ospf"
 	"crystalnet/internal/p4"
 	"crystalnet/internal/phynet"
@@ -282,6 +286,7 @@ func (d *Device) Boot(onReady func()) {
 	d.state = DeviceBooting
 	d.epoch++
 	epoch := d.epoch
+	start := d.eng.Now()
 	fixed := d.eng.Jitter(d.Image.BootFixed, d.Image.BootJitter)
 	d.eng.After(fixed, func() {
 		if d.epoch != epoch || d.state != DeviceBooting {
@@ -292,6 +297,7 @@ func (d *Device) Boot(onReady func()) {
 				return
 			}
 			d.finishBoot()
+			d.eng.Recorder().SpanAt("boot", d.Name, int64(start), int64(d.eng.Now()))
 			if onReady != nil {
 				onReady()
 			}
@@ -396,6 +402,7 @@ func (d *Device) startBGP() {
 		},
 		SessionEvent: d.onSessionEvent,
 		Logf:         func(f string, a ...any) { d.logf(f, a...) },
+		Rec:          d.eng.Recorder(),
 	})
 	for _, n := range d.cfg.Neighbors {
 		local := netpkt.IP(0)
@@ -480,8 +487,12 @@ func (d *Device) onSessionEvent(peerIdx int, st bgp.SessionState) {
 	// during bring-up does not count.
 	wasEstablished := d.peerWasUp[peerIdx]
 	d.peerWasUp[peerIdx] = st == bgp.StateEstablished
+	if st == bgp.StateEstablished && !wasEstablished {
+		d.eng.Recorder().Counter("bgp.sessions_established", d.Name).Inc()
+	}
 	if st == bgp.StateIdle && wasEstablished && d.state == DeviceRunning {
 		d.flaps++
+		d.eng.Recorder().Counter("bgp.flaps", d.Name).Inc()
 		if d.Image.Bugs.CrashAfterFlaps > 0 && d.flaps >= d.Image.Bugs.CrashAfterFlaps {
 			d.Crash("session flap storm")
 		}
@@ -500,6 +511,7 @@ func (d *Device) startOSPF() {
 		},
 		RemoveRoute: func(p netpkt.Prefix) { d.fib.Remove(p) },
 		Logf:        func(f string, a ...any) { d.logf(f, a...) },
+		Rec:         d.eng.Recorder(),
 	})
 	d.osp.AddStub(d.cfg.Loopback)
 	for _, oi := range d.cfg.OSPF.Interfaces {
@@ -545,6 +557,7 @@ func (d *Device) Crash(reason string) {
 		return
 	}
 	d.logf("CRASH: %s", reason)
+	d.eng.Recorder().Event("device", d.Name, obs.Attr{K: "what", V: "crash"}, obs.Attr{K: "reason", V: reason})
 	d.container.Detach()
 	d.state = DeviceCrashed
 	d.epoch++
@@ -566,11 +579,13 @@ func (d *Device) Reload(newCfg *config.DeviceConfig, onReady func()) {
 	d.state = DeviceBooting
 	d.epoch++
 	epoch := d.epoch
+	start := d.eng.Now()
 	d.eng.After(ReloadDuration, func() {
 		if d.epoch != epoch || d.state != DeviceBooting {
 			return
 		}
 		d.finishBoot()
+		d.eng.Recorder().SpanAt("reload", d.Name, int64(start), int64(d.eng.Now()))
 		if onReady != nil {
 			onReady()
 		}
@@ -583,6 +598,7 @@ func (d *Device) LinkDown(iface string) {
 	if d.state != DeviceRunning {
 		return
 	}
+	d.eng.Recorder().Event("link", d.Name+"/"+iface, obs.Attr{K: "what", V: "down"})
 	if d.bgp != nil {
 		for idx, ifname := range d.peerIface {
 			if ifname == iface {
@@ -602,6 +618,7 @@ func (d *Device) LinkUp(iface string) {
 	if d.state != DeviceRunning {
 		return
 	}
+	d.eng.Recorder().Event("link", d.Name+"/"+iface, obs.Attr{K: "what", V: "up"})
 	epoch := d.epoch
 	if d.bgp != nil {
 		for idx, ifname := range d.peerIface {

@@ -86,6 +86,7 @@ func (d *Device) Fork(eng *sim.Engine, fabric *phynet.Fabric, container *phynet.
 			},
 			SessionEvent: c.onSessionEvent,
 			Logf:         func(f string, a ...any) { c.logf(f, a...) },
+			Rec:          eng.Recorder(),
 		})
 	}
 	if d.peerByIP != nil {
@@ -103,6 +104,7 @@ func (d *Device) Fork(eng *sim.Engine, fabric *phynet.Fabric, container *phynet.
 			},
 			RemoveRoute: func(p netpkt.Prefix) { c.fib.Remove(p) },
 			Logf:        func(f string, a ...any) { c.logf(f, a...) },
+			Rec:         eng.Recorder(),
 		})
 	}
 	// Re-attach the frame handler exactly when the parent's firmware was

@@ -7,6 +7,9 @@
 // tunneled to the Linux jumpbox (a tree, never an L2 mesh), and tools run
 // on the jumpbox addressing devices by name or management IP — unchanged
 // from production.
+//
+// DESIGN.md §2 (substrates) places the management overlay in the system
+// inventory.
 package mgmt
 
 import (

@@ -6,6 +6,8 @@
 // bytes and decodes it on the far side, exactly as the paper's veth/bridge/
 // VXLAN data plane does (§4.2). This keeps device firmware honest: a
 // firmware bug that corrupts a header corrupts it on the wire.
+//
+// DESIGN.md §2 (substrates) places the wire formats in the system inventory.
 package netpkt
 
 import (

@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Exporters. All three outputs are deterministic: spans and events are
+// emitted in their (deterministic) record order, metrics are sorted by
+// (name, label), and maps never reach the encoder unsorted — so two
+// same-seed runs produce byte-identical files.
+
+type counterJSON struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"`
+	Value uint64 `json:"value"`
+}
+
+type gaugeJSON struct {
+	Name  string  `json:"name"`
+	Label string  `json:"label,omitempty"`
+	Value float64 `json:"value"`
+}
+
+type histBucketJSON struct {
+	LE string `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+type histJSON struct {
+	Name    string           `json:"name"`
+	Label   string           `json:"label,omitempty"`
+	Count   uint64           `json:"count"`
+	Sum     float64          `json:"sum"`
+	Min     float64          `json:"min"`
+	Max     float64          `json:"max"`
+	Buckets []histBucketJSON `json:"buckets"`
+}
+
+type traceJSON struct {
+	Spans      []SpanData    `json:"spans"`
+	Events     []EventData   `json:"events,omitempty"`
+	Counters   []counterJSON `json:"counters,omitempty"`
+	Gauges     []gaugeJSON   `json:"gauges,omitempty"`
+	Histograms []histJSON    `json:"histograms,omitempty"`
+}
+
+func (r *Recorder) sortedCounters() []*Counter {
+	cs := append([]*Counter(nil), r.counters...)
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Name != cs[j].Name {
+			return cs[i].Name < cs[j].Name
+		}
+		return cs[i].Label < cs[j].Label
+	})
+	return cs
+}
+
+func (r *Recorder) sortedGauges() []*Gauge {
+	gs := append([]*Gauge(nil), r.gauges...)
+	sort.Slice(gs, func(i, j int) bool {
+		if gs[i].Name != gs[j].Name {
+			return gs[i].Name < gs[j].Name
+		}
+		return gs[i].Label < gs[j].Label
+	})
+	return gs
+}
+
+func (r *Recorder) sortedHists() []*Histogram {
+	hs := append([]*Histogram(nil), r.hists...)
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].Name != hs[j].Name {
+			return hs[i].Name < hs[j].Name
+		}
+		return hs[i].Label < hs[j].Label
+	})
+	return hs
+}
+
+// WriteJSON writes the native trace file: spans and events in record
+// order, metrics sorted by (name, label). Schema documented in
+// docs/OBSERVABILITY.md.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{\"spans\":[]}\n")
+		return err
+	}
+	out := traceJSON{Spans: r.spans, Events: r.events}
+	if out.Spans == nil {
+		out.Spans = []SpanData{}
+	}
+	for _, c := range r.sortedCounters() {
+		out.Counters = append(out.Counters, counterJSON{c.Name, c.Label, c.n})
+	}
+	for _, g := range r.sortedGauges() {
+		out.Gauges = append(out.Gauges, gaugeJSON{g.Name, g.Label, g.v})
+	}
+	for _, h := range r.sortedHists() {
+		hj := histJSON{Name: h.Name, Label: h.Label, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		for i, n := range h.bucket {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = fmt.Sprintf("%g", h.bounds[i])
+			}
+			hj.Buckets = append(hj.Buckets, histBucketJSON{le, n})
+		}
+		out.Histograms = append(out.Histograms, hj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Part names one recorder inside a merged Chrome trace; each part becomes
+// a Perfetto "process" so multi-run campaigns view side by side.
+type Part struct {
+	Name string
+	Rec  *Recorder
+}
+
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes this recorder as a Chrome trace_event file that
+// opens directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	return WriteChrome(w, Part{Name: "run", Rec: r})
+}
+
+// WriteChrome merges one or more recorders into a single Chrome
+// trace_event file: each part is a process (pid = position, in order),
+// each track within it a named thread. Timestamps are virtual
+// microseconds. Nil recorders contribute only their process banner, so a
+// campaign with tracing half-enabled still lines pids up with run order.
+func WriteChrome(w io.Writer, parts ...Part) error {
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for pi, part := range parts {
+		pid := pi + 1
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": part.Name},
+		})
+		r := part.Rec
+		if r == nil {
+			continue
+		}
+		// Tracks map to tids in sorted-name order so the mapping does not
+		// depend on which track happened to record first.
+		trackSet := map[string]bool{}
+		for i := range r.spans {
+			trackSet[r.spans[i].Track] = true
+		}
+		for i := range r.events {
+			trackSet[r.events[i].Track] = true
+		}
+		tracks := make([]string, 0, len(trackSet))
+		for t := range trackSet {
+			tracks = append(tracks, t)
+		}
+		sort.Strings(tracks)
+		tid := map[string]int{}
+		for i, t := range tracks {
+			tid[t] = i + 1
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: i + 1,
+				Args: map[string]string{"name": t},
+			})
+		}
+		for i := range r.spans {
+			sp := &r.spans[i]
+			dur := float64(sp.End-sp.Start) / 1e3
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: sp.Name, Cat: sp.Track, Ph: "X",
+				TS: float64(sp.Start) / 1e3, Dur: &dur,
+				PID: pid, TID: tid[sp.Track], Args: attrMap(sp.Attrs),
+			})
+		}
+		for i := range r.events {
+			ev := &r.events[i]
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: ev.Name, Cat: ev.Track, Ph: "i",
+				TS: float64(ev.At) / 1e3, S: "t",
+				PID: pid, TID: tid[ev.Track], Args: attrMap(ev.Attrs),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func attrMap(attrs []Attr) map[string]string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a.K] = a.V
+	}
+	return m
+}
+
+// Summary renders a human-readable rollup: the phase timeline, per-track
+// span statistics with the slowest instances, counter totals grouped by
+// series name, and histogram digests. Deterministic like the file
+// exporters.
+func (r *Recorder) Summary() string {
+	if r == nil {
+		return "trace: disabled (nil recorder)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d spans, %d events (virtual time)\n", len(r.spans), len(r.events))
+
+	// Phase timeline, in record order (phases record in lifecycle order).
+	var phases []SpanData
+	byTrack := map[string][]SpanData{}
+	for _, sp := range r.spans {
+		if sp.Track == "phase" {
+			phases = append(phases, sp)
+		} else {
+			byTrack[sp.Track] = append(byTrack[sp.Track], sp)
+		}
+	}
+	if len(phases) > 0 {
+		b.WriteString("phases:\n")
+		for _, sp := range phases {
+			fmt.Fprintf(&b, "  %-16s %12s  (at %s)\n", sp.Name,
+				time.Duration(sp.End-sp.Start).Round(time.Millisecond),
+				time.Duration(sp.Start).Round(time.Millisecond))
+		}
+	}
+
+	tracks := make([]string, 0, len(byTrack))
+	for t := range byTrack {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+	for _, t := range tracks {
+		spans := byTrack[t]
+		var sum, max int64
+		min := spans[0].End - spans[0].Start
+		for _, sp := range spans {
+			d := sp.End - sp.Start
+			sum += d
+			if d > max {
+				max = d
+			}
+			if d < min {
+				min = d
+			}
+		}
+		fmt.Fprintf(&b, "%s: %d spans, min %s avg %s max %s\n", t, len(spans),
+			time.Duration(min).Round(time.Millisecond),
+			time.Duration(sum/int64(len(spans))).Round(time.Millisecond),
+			time.Duration(max).Round(time.Millisecond))
+		slow := append([]SpanData(nil), spans...)
+		sort.SliceStable(slow, func(i, j int) bool {
+			return slow[i].End-slow[i].Start > slow[j].End-slow[j].Start
+		})
+		n := len(slow)
+		if n > 5 {
+			n = 5
+		}
+		for _, sp := range slow[:n] {
+			fmt.Fprintf(&b, "  slowest  %-24s %12s\n", sp.Name,
+				time.Duration(sp.End-sp.Start).Round(time.Millisecond))
+		}
+	}
+
+	// Counter totals grouped by series name, labels counted.
+	if len(r.counters) > 0 {
+		type agg struct {
+			total  uint64
+			labels int
+		}
+		totals := map[string]*agg{}
+		for _, c := range r.counters {
+			a := totals[c.Name]
+			if a == nil {
+				a = &agg{}
+				totals[c.Name] = a
+			}
+			a.total += c.n
+			a.labels++
+		}
+		names := make([]string, 0, len(totals))
+		for n := range totals {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("counters:\n")
+		for _, n := range names {
+			a := totals[n]
+			fmt.Fprintf(&b, "  %-28s %12d  (%d labels)\n", n, a.total, a.labels)
+		}
+	}
+	for _, g := range r.sortedGauges() {
+		fmt.Fprintf(&b, "gauge %s{%s} = %g\n", g.Name, g.Label, g.v)
+	}
+	for _, h := range r.sortedHists() {
+		if h.count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "hist %s{%s}: n=%d avg=%.3fs min=%.3fs max=%.3fs\n",
+			h.Name, h.Label, h.count, h.sum/float64(h.count), h.min, h.max)
+	}
+	return b.String()
+}

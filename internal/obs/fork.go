@@ -1,0 +1,68 @@
+package obs
+
+// Fork and adoption: recorder state crosses the checkpoint/fork boundary
+// by deep copy, so a fork's trace starts with everything its parent had
+// recorded up to the snapshot and then diverges on its own — exactly like
+// the rest of the emulation. A forked recorder has no clock bound; the
+// fork's engine binds its own in SetRecorder.
+
+// Fork returns a deep copy of the recorder with no clock bound. Metric
+// handles cached by the parent's devices keep pointing at the parent's
+// metrics; forked devices re-register through the fork's recorder and get
+// the copied handles. Nil-safe: a nil recorder forks to nil.
+func (r *Recorder) Fork() *Recorder {
+	if r == nil {
+		return nil
+	}
+	c := &Recorder{
+		spans:  append([]SpanData(nil), r.spans...),
+		events: append([]EventData(nil), r.events...),
+	}
+	// Attrs slices are recorded once and never mutated, so aliasing them
+	// is safe; the containers themselves must not be shared.
+	if len(r.counters) > 0 {
+		c.counters = make([]*Counter, len(r.counters))
+		c.cIdx = make(map[metricKey]*Counter, len(r.counters))
+		for i, src := range r.counters {
+			dup := *src
+			c.counters[i] = &dup
+			c.cIdx[metricKey{src.Name, src.Label}] = &dup
+		}
+	}
+	if len(r.gauges) > 0 {
+		c.gauges = make([]*Gauge, len(r.gauges))
+		c.gIdx = make(map[metricKey]*Gauge, len(r.gauges))
+		for i, src := range r.gauges {
+			dup := *src
+			c.gauges[i] = &dup
+			c.gIdx[metricKey{src.Name, src.Label}] = &dup
+		}
+	}
+	if len(r.hists) > 0 {
+		c.hists = make([]*Histogram, len(r.hists))
+		c.hIdx = make(map[metricKey]*Histogram, len(r.hists))
+		for i, src := range r.hists {
+			dup := *src
+			dup.bucket = append([]uint64(nil), src.bucket...)
+			c.hists[i] = &dup
+			c.hIdx[metricKey{src.Name, src.Label}] = &dup
+		}
+	}
+	return c
+}
+
+// Adopt moves src's contents into r, replacing whatever r held. The
+// scenario engine uses this to hand a fork's recorder (created internally
+// by Orchestrator.Fork) to the caller-supplied recorder, so the caller's
+// handle sees the full trace. src must not be used afterwards. Nil-safe
+// on both sides.
+func (r *Recorder) Adopt(src *Recorder) {
+	if r == nil || src == nil {
+		return
+	}
+	now := r.now
+	*r = *src
+	if r.now == nil {
+		r.now = now
+	}
+}

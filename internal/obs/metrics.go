@@ -1,0 +1,175 @@
+package obs
+
+// Metrics are registered per (name, label): the name identifies the
+// series ("bgp.msgs_out"), the label the instance (a device name). Handles
+// are cached by callers at construction time so hot-path updates are a
+// nil check plus an integer add — and literally just the nil check when
+// tracing is disabled, because a nil recorder vends nil handles.
+
+type metricKey struct{ name, label string }
+
+// Counter is a monotonically increasing integer series. A nil *Counter —
+// vended by a nil recorder — absorbs updates for free.
+type Counter struct {
+	Name  string
+	Label string
+	n     uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n++
+	}
+}
+
+// Add adds d.
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.n += d
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Counter returns the counter registered under (name, label), creating it
+// on first use. On a nil recorder it returns nil, which is itself a valid
+// no-op counter.
+func (r *Recorder) Counter(name, label string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, label}
+	if c, ok := r.cIdx[k]; ok {
+		return c
+	}
+	if r.cIdx == nil {
+		r.cIdx = map[metricKey]*Counter{}
+	}
+	c := &Counter{Name: name, Label: label}
+	r.cIdx[k] = c
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge is a last-write-wins float series.
+type Gauge struct {
+	Name  string
+	Label string
+	v     float64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the last value set (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Gauge returns the gauge registered under (name, label), creating it on
+// first use. Nil recorder → nil gauge, a valid no-op.
+func (r *Recorder) Gauge(name, label string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, label}
+	if g, ok := r.gIdx[k]; ok {
+		return g
+	}
+	if r.gIdx == nil {
+		r.gIdx = map[metricKey]*Gauge{}
+	}
+	g := &Gauge{Name: name, Label: label}
+	r.gIdx[k] = g
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// DefBuckets are the default histogram bounds, in seconds of virtual
+// time: 1ms to ~2min in powers of four. They cover the spread between a
+// single BGP UPDATE exchange and a full fabric convergence.
+var DefBuckets = []float64{0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384, 65.536, 131.072}
+
+// Histogram accumulates observations into fixed buckets, plus exact
+// count/sum/min/max. Bounds are set at registration and never change, so
+// two same-seed runs bucket identically.
+type Histogram struct {
+	Name   string
+	Label  string
+	bounds []float64
+	bucket []uint64 // len(bounds)+1; last is +Inf
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.bucket[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Histogram returns the histogram registered under (name, label) with
+// DefBuckets bounds, creating it on first use. Nil recorder → nil
+// histogram, a valid no-op.
+func (r *Recorder) Histogram(name, label string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, label}
+	if h, ok := r.hIdx[k]; ok {
+		return h
+	}
+	if r.hIdx == nil {
+		r.hIdx = map[metricKey]*Histogram{}
+	}
+	h := &Histogram{Name: name, Label: label, bounds: DefBuckets, bucket: make([]uint64, len(DefBuckets)+1)}
+	r.hIdx[k] = h
+	r.hists = append(r.hists, h)
+	return h
+}

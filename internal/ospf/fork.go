@@ -25,6 +25,9 @@ func (in *Instance) Fork(clock Clock, hooks Hooks) *Instance {
 		seq:       in.seq,
 		installed: make(map[netpkt.Prefix][]rib.NextHop, len(in.installed)),
 	}
+	// hooks.Rec is the fork's recorder; its deep-copied counters continue
+	// the parent's totals rather than restarting from zero.
+	c.bindMetrics(hooks.Rec)
 	for k, l := range in.lsdb {
 		c.lsdb[k] = l.Clone()
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"crystalnet/internal/netpkt"
+	"crystalnet/internal/obs"
 	"crystalnet/internal/rib"
 )
 
@@ -86,6 +87,9 @@ type Hooks struct {
 	InstallRoute func(p netpkt.Prefix, nhs []rib.NextHop) error
 	RemoveRoute  func(p netpkt.Prefix)
 	Logf         func(format string, args ...any)
+	// Rec is the observability recorder; nil disables tracing. Counter
+	// handles are cached at construction (see bindMetrics).
+	Rec *obs.Recorder
 }
 
 // Instance is one OSPF router.
@@ -101,6 +105,24 @@ type Instance struct {
 
 	spfTimer  Timer
 	installed map[netpkt.Prefix][]rib.NextHop
+
+	// Cached obs counter handles; nil (no-op) when hooks.Rec is nil.
+	mPktsIn, mPktsOut *obs.Counter
+	mSPFRuns          *obs.Counter
+}
+
+// bindMetrics caches the instance's counter handles against rec (nil-safe).
+func (in *Instance) bindMetrics(rec *obs.Recorder) {
+	in.mPktsIn = rec.Counter("ospf.pkts_in", in.cfg.Name)
+	in.mPktsOut = rec.Counter("ospf.pkts_out", in.cfg.Name)
+	in.mSPFRuns = rec.Counter("ospf.spf_runs", in.cfg.Name)
+}
+
+// send is the single egress choke point: every packet leaves through it so
+// the out-counter stays exact.
+func (in *Instance) send(ifaceIdx int, dst RouterID, data []byte) {
+	in.mPktsOut.Inc()
+	in.hooks.Send(ifaceIdx, dst, data)
 }
 
 // New creates an instance.
@@ -117,11 +139,13 @@ func New(cfg Config, clock Clock, hooks Hooks) *Instance {
 	if hooks.Logf == nil {
 		hooks.Logf = func(string, ...any) {}
 	}
-	return &Instance{
+	in := &Instance{
 		cfg: cfg, clock: clock, hooks: hooks,
 		lsdb:      map[Key]*LSA{},
 		installed: map[netpkt.Prefix][]rib.NextHop{},
 	}
+	in.bindMetrics(hooks.Rec)
+	return in
 }
 
 // AddInterface registers an interface; returns its index.
@@ -224,12 +248,13 @@ func (in *Instance) sendHello(i *Iface) {
 		h.Neighbors = append(h.Neighbors, id)
 	}
 	sort.Slice(h.Neighbors, func(a, b int) bool { return h.Neighbors[a] < h.Neighbors[b] })
-	in.hooks.Send(i.idx, 0, MarshalHello(h))
+	in.send(i.idx, 0, MarshalHello(h))
 }
 
 // HandlePacket processes an OSPF packet received on interface idx from the
 // given source address.
 func (in *Instance) HandlePacket(idx int, src netpkt.IP, data []byte) {
+	in.mPktsIn.Inc()
 	i := in.ifaces[idx]
 	if !i.up {
 		return
@@ -301,7 +326,7 @@ func (in *Instance) sendLSDB(i *Iface, dst RouterID) {
 		}
 		return x.ID < y.ID
 	})
-	in.hooks.Send(i.idx, dst, MarshalLSUpdate(in.cfg.RouterID, lsas))
+	in.send(i.idx, dst, MarshalLSUpdate(in.cfg.RouterID, lsas))
 }
 
 func (in *Instance) handleLSUpdate(i *Iface, d *DecodedPacket) {
@@ -323,7 +348,7 @@ func (in *Instance) handleLSUpdate(i *Iface, d *DecodedPacket) {
 		if other == i || !other.up || len(other.neighbors) == 0 {
 			continue
 		}
-		in.hooks.Send(other.idx, 0, MarshalLSUpdate(in.cfg.RouterID, fresh))
+		in.send(other.idx, 0, MarshalLSUpdate(in.cfg.RouterID, fresh))
 	}
 	in.scheduleSPF()
 }
@@ -333,7 +358,7 @@ func (in *Instance) installLSA(l *LSA) {
 	in.lsdb[l.Key()] = l
 	for _, i := range in.ifaces {
 		if i.up && len(i.neighbors) > 0 {
-			in.hooks.Send(i.idx, 0, MarshalLSUpdate(in.cfg.RouterID, []*LSA{l}))
+			in.send(i.idx, 0, MarshalLSUpdate(in.cfg.RouterID, []*LSA{l}))
 		}
 	}
 	in.scheduleSPF()
@@ -352,7 +377,7 @@ func (in *Instance) removeLSA(k Key) {
 		in.lsdb[k] = l
 		for _, i := range in.ifaces {
 			if i.up && len(i.neighbors) > 0 {
-				in.hooks.Send(i.idx, 0, MarshalLSUpdate(in.cfg.RouterID, []*LSA{l}))
+				in.send(i.idx, 0, MarshalLSUpdate(in.cfg.RouterID, []*LSA{l}))
 			}
 		}
 		in.scheduleSPF()

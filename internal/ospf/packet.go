@@ -7,6 +7,9 @@
 // virtual links make machinery redundant (no retransmission lists, no
 // checksum ageing), but packet formats are real binary encodings and the
 // flooding/SPF semantics are faithful.
+//
+// DESIGN.md §2 places this substrate in the inventory; §4 records the
+// RFC-condensation decisions.
 package ospf
 
 import (

@@ -41,6 +41,7 @@ type edge struct {
 // runSPF recomputes shortest paths over the LSDB and reconciles the routing
 // table (RFC 2328 §16, condensed to intra-area router/network/stub routes).
 func (in *Instance) runSPF() {
+	in.mSPFRuns.Inc()
 	routers := map[RouterID]*LSA{}
 	networks := map[netpkt.IP]*LSA{}
 	for k, l := range in.lsdb {

@@ -10,6 +10,8 @@
 // control-plane packets like ARP and BGP reach the switch OS — the trap
 // path whose breakage is one of the §7 Case-2 bugs). Execution produces a
 // per-table trace, which is what makes emulated pipelines debuggable.
+//
+// DESIGN.md §2 (substrates) places the pipeline in the system inventory.
 package p4
 
 import (

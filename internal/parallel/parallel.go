@@ -1,7 +1,18 @@
 // Package parallel provides the bounded worker pool the experiment harness
-// uses to fan independent emulation runs across cores. Every job owns its
-// own sim.Engine, so jobs share no mutable state; the pool only distributes
-// indices and collects results in deterministic (input) order.
+// and the chaos-campaign layer use to fan independent emulation runs across
+// cores (Figure 8 repetitions, Table 4 boundary sweeps, scenario chaos
+// campaigns).
+//
+// The pool is deliberately minimal: it distributes job indices and collects
+// results in input order, nothing else. Determinism comes from the jobs,
+// not the pool — every job owns its own sim.Engine (and, when tracing, its
+// own obs.Recorder), so jobs share no mutable state and a run's output is
+// byte-identical whether it executed on 1 worker or 64. Run with
+// workers <= 1 stays on the calling goroutine, which keeps single-core
+// hosts and -race debugging free of scheduling noise.
+//
+// DESIGN.md §4 records this serial-equals-parallel contract as a key
+// design decision; DESIGN.md §7 relies on it for campaign traces.
 package parallel
 
 import (

@@ -8,6 +8,9 @@
 // independent of the device firmware, so a firmware reload never recreates
 // plumbing (measured in §8.3). Frames that cross VM boundaries are really
 // VXLAN-encapsulated to exercise the same wire path production uses.
+//
+// DESIGN.md §2 (substrates) and §4 (two-layer reload decision) cover this
+// layer.
 package phynet
 
 import (

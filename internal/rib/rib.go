@@ -3,6 +3,9 @@
 // prefix-match lookup, snapshots for the PullStates API, and the FIB
 // comparator from §9 that tolerates ECMP/aggregation non-determinism when
 // cross-validating emulated state against production (or between runs).
+//
+// DESIGN.md §2 (substrates) and §3 (§9 cross-validation row) place these
+// structures.
 package rib
 
 import (

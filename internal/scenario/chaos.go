@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"crystalnet/internal/obs"
 	"crystalnet/internal/parallel"
 	"crystalnet/internal/topo"
 )
@@ -30,6 +31,20 @@ type CampaignConfig struct {
 	// seed field: every run shares the campaign seed's convergence, and
 	// the fault draws keep their own per-run derived seeds.
 	Reuse bool
+	// Trace gives every run a private obs.Recorder and collects them in
+	// CampaignReport.Traces, in run order regardless of worker count —
+	// the same determinism contract the reports already have. Under Reuse
+	// the shared convergence is traced once and each run's trace starts
+	// with a copy of it, exactly as a fresh traced run would look.
+	Trace bool
+}
+
+// tracedReport pairs one run's report with its recorder (nil unless the
+// campaign traces). parallel.Map keeps input order, so traces line up with
+// runs whatever the worker count.
+type tracedReport struct {
+	rep *Report
+	rec *obs.Recorder
 }
 
 // Fault kinds the expander draws from.
@@ -82,7 +97,7 @@ func Chaos(base *Spec, cfg CampaignConfig) (*CampaignReport, error) {
 		return nil, err
 	}
 
-	var reports []*Report
+	var traces []*tracedReport
 	if cfg.Reuse {
 		for i := range base.Steps {
 			if base.Steps[i].Op == OpAttachDevice {
@@ -94,31 +109,52 @@ func Chaos(base *Spec, cfg CampaignConfig) (*CampaignReport, error) {
 		// convergence); only the fault draws stay per-run.
 		convBase := base.Clone()
 		convBase.Seed = cfg.Seed
-		conv, err := Converge(convBase, Options{MaxEvents: cfg.MaxEvents})
+		convOpts := Options{MaxEvents: cfg.MaxEvents}
+		if cfg.Trace {
+			// Trace the shared convergence; every fork starts from a deep
+			// copy of this recorder, so each run's trace is complete.
+			convOpts.Rec = obs.New()
+		}
+		conv, err := Converge(convBase, convOpts)
 		if err != nil {
 			return nil, err
 		}
-		reports = parallel.Map(cfg.N, cfg.Workers, func(i int) *Report {
+		traces = parallel.Map(cfg.N, cfg.Workers, func(i int) *tracedReport {
 			sp := expandRun(base, cand, i, cfg.Seed, runSeed(cfg.Seed, i), cfg.FaultsPerRun)
-			rep, err := conv.Run(sp, Options{MaxEvents: cfg.MaxEvents})
-			if err != nil {
-				return &Report{Scenario: sp.Name, Seed: cfg.Seed, Error: err.Error()}
+			opts := Options{MaxEvents: cfg.MaxEvents}
+			if cfg.Trace {
+				opts.Rec = obs.New()
 			}
-			return rep
+			rep, err := conv.Run(sp, opts)
+			if err != nil {
+				return &tracedReport{rep: &Report{Scenario: sp.Name, Seed: cfg.Seed, Error: err.Error()}, rec: opts.Rec}
+			}
+			return &tracedReport{rep: rep, rec: opts.Rec}
 		})
 	} else {
-		reports = parallel.Map(cfg.N, cfg.Workers, func(i int) *Report {
+		traces = parallel.Map(cfg.N, cfg.Workers, func(i int) *tracedReport {
 			seed := runSeed(cfg.Seed, i)
 			sp := expandRun(base, cand, i, seed, seed, cfg.FaultsPerRun)
-			rep, err := Run(sp, Options{MaxEvents: cfg.MaxEvents})
-			if err != nil {
-				return &Report{Scenario: sp.Name, Seed: seed, Error: err.Error()}
+			opts := Options{MaxEvents: cfg.MaxEvents}
+			if cfg.Trace {
+				opts.Rec = obs.New()
 			}
-			return rep
+			rep, err := Run(sp, opts)
+			if err != nil {
+				return &tracedReport{rep: &Report{Scenario: sp.Name, Seed: seed, Error: err.Error()}, rec: opts.Rec}
+			}
+			return &tracedReport{rep: rep, rec: opts.Rec}
 		})
 	}
 
+	reports := make([]*Report, len(traces))
 	out := &CampaignReport{Scenario: base.Name, Seed: cfg.Seed, Runs: reports}
+	for i, tr := range traces {
+		reports[i] = tr.rep
+		if cfg.Trace {
+			out.Traces = append(out.Traces, tr.rec)
+		}
+	}
 	for _, r := range reports {
 		if r.Passed {
 			out.Passed++

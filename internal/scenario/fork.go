@@ -94,6 +94,13 @@ func (cv *Converged) Run(sp *Spec, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Rec != nil {
+		// Hand the fork's recorder (a deep copy of everything the shared
+		// convergence recorded) to the caller's handle, then rebind the
+		// fork's engine to it so the steps below land in the same trace.
+		opts.Rec.Adopt(em.Orchestrator().Eng.Recorder())
+		em.Orchestrator().Eng.SetRecorder(opts.Rec)
+	}
 	r := &runner{
 		sp: sp, opts: opts,
 		orch:        em.Orchestrator(),

@@ -3,6 +3,8 @@ package scenario
 import (
 	"encoding/json"
 	"fmt"
+
+	"crystalnet/internal/obs"
 )
 
 // Check is the outcome of one assertion — a step's own assert or one
@@ -97,6 +99,10 @@ type CampaignReport struct {
 	Runs     []*Report `json:"runs"`
 	Passed   int       `json:"passed"`
 	Failed   int       `json:"failed"`
+	// Traces holds each run's recorder when CampaignConfig.Trace is set,
+	// indexed like Runs. Excluded from the JSON report — export them with
+	// obs.WriteChrome (one process per run) or per-run WriteJSON.
+	Traces []*obs.Recorder `json:"-"`
 }
 
 // JSON marshals the campaign report with stable indentation.

@@ -12,6 +12,7 @@ import (
 	"crystalnet/internal/dataplane"
 	"crystalnet/internal/firmware"
 	"crystalnet/internal/netpkt"
+	"crystalnet/internal/obs"
 	"crystalnet/internal/rib"
 	"crystalnet/internal/telemetry"
 	"crystalnet/internal/topo"
@@ -40,6 +41,12 @@ type Options struct {
 	Images map[string]ImageRef
 	// MaxEvents caps each convergence drive (0 = default).
 	MaxEvents uint64
+	// Rec enables the Monitor plane's tracer for this run
+	// (docs/OBSERVABILITY.md). On a fresh Run it becomes the emulation's
+	// recorder; on Converged.Run it adopts the fork's recorder — including
+	// everything the shared convergence recorded — so the caller's handle
+	// always holds the run's complete trace.
+	Rec *obs.Recorder
 }
 
 // runner executes one spec against one emulation.
@@ -86,6 +93,7 @@ func Run(sp *Spec, opts Options) (*Report, error) {
 // drive executes every spec step against the runner's emulation and seals
 // the report — the shared back half of Run and Converged.Run.
 func (r *runner) drive() *Report {
+	rec := r.orch.Eng.Recorder()
 	for i := range r.sp.Steps {
 		st := &r.sp.Steps[i]
 		res := StepResult{Index: i + 1, Op: st.Op, Label: st.Label}
@@ -95,6 +103,15 @@ func (r *runner) drive() *Report {
 		end := r.orch.Eng.Now()
 		res.End = end.String()
 		res.VirtualLatency = end.Sub(start).String()
+		if rec != nil {
+			name := string(st.Op)
+			if st.Label != "" {
+				name = st.Label
+			}
+			rec.SpanAt("scenario", name, int64(start), int64(end),
+				obs.Attr{K: "step", V: fmt.Sprint(res.Index)},
+				obs.Attr{K: "pass", V: fmt.Sprint(res.Pass)})
+		}
 		r.report.Steps = append(r.report.Steps, res)
 	}
 
@@ -170,7 +187,7 @@ func (r *runner) mockup(seed int64) error {
 		}
 	}
 
-	r.orch = core.New(core.Options{Seed: seed})
+	r.orch = core.New(core.Options{Seed: seed, Rec: r.opts.Rec})
 	prep, err := r.orch.Prepare(core.PrepareInput{
 		Network: net, MustEmulate: must, Images: images,
 	})

@@ -12,6 +12,9 @@
 // failures, probes) and the assertions that must hold, so the same
 // rehearsal is reproducible from a seed, diffable in review, and
 // composable into chaos campaigns.
+//
+// DESIGN.md §5 is the full scenario-engine write-up: the step/invariant
+// catalog, determinism contract and campaign layer.
 package scenario
 
 import (

@@ -7,11 +7,18 @@
 // clock. This makes emulations of thousands of devices deterministic,
 // seedable and fast on a single core, while preserving the latency shape the
 // paper reports (Figures 8 and 9).
+//
+// DESIGN.md §1 records virtual time as the repo's central substitution;
+// traced runs stamp spans with this clock (DESIGN.md §7,
+// docs/OBSERVABILITY.md).
 package sim
 
 import (
 	"fmt"
+	"strconv"
 	"time"
+
+	"crystalnet/internal/obs"
 )
 
 // Time is a point in virtual time, measured as an offset from the start of
@@ -193,6 +200,7 @@ type Engine struct {
 	fired  uint64
 	maxed  bool
 	halted bool
+	rec    *obs.Recorder // nil unless tracing is enabled
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -239,6 +247,23 @@ func (e *Engine) Now() Time { return e.now }
 // an emulation (boot jitter, failure injection, ECMP seeds) must come from
 // here to keep runs reproducible.
 func (e *Engine) Rand() *RNG { return e.rng }
+
+// SetRecorder attaches an observability recorder and binds its clock to
+// this engine's virtual time. Passing nil disables tracing. The recorder
+// rides along with the engine so every layer that can see the engine (or
+// is forked with it) shares one trace; the Step/Run hot loop itself is
+// never instrumented per event.
+func (e *Engine) SetRecorder(rec *obs.Recorder) {
+	e.rec = rec
+	if rec != nil {
+		rec.SetClock(func() int64 { return int64(e.now) })
+	}
+}
+
+// Recorder returns the attached recorder, nil when tracing is disabled.
+// A nil result is safe to call methods on — obs treats it as the
+// disabled tracer.
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
 // Pending reports the number of live events still queued. Canceled events
 // are removed from the queue eagerly, so they never count.
@@ -318,7 +343,22 @@ func (e *Engine) Step() bool {
 // or maxEvents fire (0 means no limit). It returns the number of events
 // executed and an error if the event cap was hit — which in an emulation
 // almost always means a routing loop or livelock.
+//
+// When a recorder is attached, each Run call records one "engine/run"
+// span tagged with the number of events it fired — the coarse unit of
+// engine work. Individual events are never traced; that would both drown
+// the trace and put work on the hot loop.
 func (e *Engine) Run(maxEvents uint64) (uint64, error) {
+	if e.rec == nil {
+		return e.run(maxEvents)
+	}
+	sp := e.rec.Start("engine", "run")
+	n, err := e.run(maxEvents)
+	sp.End(obs.Attr{K: "events", V: strconv.FormatUint(n, 10)})
+	return n, err
+}
+
+func (e *Engine) run(maxEvents uint64) (uint64, error) {
 	e.halted = false
 	var n uint64
 	for !e.halted {

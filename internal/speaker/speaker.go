@@ -5,6 +5,9 @@
 // replays the routing announcements recorded from production. It never
 // reacts to dynamics inside the emulation (no reflection, no recomputation),
 // which is precisely why the boundary must be chosen safe (internal/boundary).
+//
+// DESIGN.md §2 (core layer) places speakers next to the boundary theory they
+// depend on.
 package speaker
 
 import (

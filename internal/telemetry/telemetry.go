@@ -3,6 +3,9 @@
 // pre-defined signature, every emulated device captures signature-matched
 // packets, and PullPackets-style collection reconstructs per-packet paths
 // and per-device counters for analysis.
+//
+// DESIGN.md §7 (Monitor plane) situates packet telemetry beside the trace
+// recorder; docs/OBSERVABILITY.md covers both.
 package telemetry
 
 import (

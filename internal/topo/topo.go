@@ -3,6 +3,9 @@
 // (ToR → Leaf → Spine → Border, §5.2), plus the WAN/regional-backbone
 // shapes from §7. It also carries the address and AS-number plan
 // (RFC 7938-style BGP datacenter design) that the config generator renders.
+//
+// DESIGN.md §2 (substrates) and §3 (Table 3 fabrics) place the topology
+// model.
 package topo
 
 import (

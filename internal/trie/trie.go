@@ -3,6 +3,9 @@
 // emulator: insert, delete, exact match, longest-prefix match and ordered
 // walks, all allocation-lean so that L-DC-scale tables (Table 3: O(20M)
 // entries across the fabric) stay affordable.
+//
+// DESIGN.md §4 records the allocation-lean trie as a key performance
+// decision.
 package trie
 
 import (

@@ -8,6 +8,9 @@
 // Behavioural divergences between images are deliberate and documented —
 // they reproduce the incident classes of Table 1 and §7. Versioned variants
 // carry the known-buggy releases so validation scenarios can boot them.
+//
+// DESIGN.md §1 (substitutions) and §4 (vendor divergences) document the
+// image set.
 package vendors
 
 import (

@@ -1,8 +1,9 @@
 #!/bin/sh
 # check.sh — tier-1 style verification: formatting, build, vet, full tests,
-# and a race pass over the packages that touch concurrency (the experiment
+# a race pass over the packages that touch concurrency (the experiment
 # worker pool, the engine it drives, the harness that fans runs across it,
-# and the scenario engine's chaos campaigns).
+# and the scenario engine's chaos campaigns), the trace-determinism smoke,
+# and the documentation gate (cmd/doccheck).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,5 +36,11 @@ go test -race ./internal/scenario/ -run 'TestSmoke|TestChaosSerialParallelIdenti
 
 echo "== fork-determinism smoke under -race (fresh vs forked, byte-compare)"
 go test -race ./internal/scenario/ -run 'TestForkedRunMatchesFreshRun|TestChaosReuse'
+
+echo "== trace-determinism smoke (same-seed traces byte-identical, incl. across a fork)"
+go test ./internal/scenario/ -run 'TestTraceDeterminism|TestTraceSurvivesFork|TestChaosTraceDeterminism'
+
+echo "== docs gate (every package carries a doc comment linking the design docs)"
+go run ./cmd/doccheck
 
 echo "OK"
