@@ -115,6 +115,10 @@ func main() {
 	workers := flag.Int("workers", 0, "chaos: worker pool size (0 = all cores, 1 = serial)")
 	faults := flag.Int("faults", 6, "chaos: fault events per sequence")
 	reuse := flag.Bool("reuse", false, "chaos: converge the base fabric once and fork it per run")
+	mtbf := flag.Duration("mtbf", 0, "arm seeded random VM failures with this mean time between failures (0 = off)")
+	bootDeadline := flag.Duration("bootdeadline", 0, "supervise VM boots: per-attempt deadline before retry (0 = unsupervised)")
+	maxAttempts := flag.Int("maxattempts", 0, "supervised boots: attempts before replacing the VM (0 = default 3)")
+	recoveryDeadline := flag.Duration("recoverydeadline", 0, "abandon a VM-failure recovery into degraded mode after this long (0 = unbounded)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the command to `file`")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run to `file` (open in Perfetto)")
 	traceJSON := flag.String("tracejson", "", "write the raw span/event/metric trace JSON to `file`")
@@ -184,6 +188,16 @@ func main() {
 		rec = crystalnet.NewRecorder()
 	}
 
+	// Failure-path knobs (DESIGN.md "Failure domains and recovery"). Boot
+	// supervision engages only with a per-attempt deadline; -maxattempts
+	// alone has nothing to bound.
+	retry := crystalnet.RetryPolicy{}
+	if *bootDeadline > 0 {
+		retry = crystalnet.RetryPolicy{MaxAttempts: *maxAttempts, BootDeadline: *bootDeadline}
+	} else if *maxAttempts > 0 {
+		log.Fatal("-maxattempts requires -bootdeadline (supervision needs a per-attempt deadline)")
+	}
+
 	switch cmd {
 	case "run-scenario":
 		need(cmd, len(args) >= 1)
@@ -191,7 +205,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts := crystalnet.ScenarioOptions{Rec: rec}
+		opts := crystalnet.ScenarioOptions{
+			Rec: rec, MTBF: *mtbf, Retry: retry, RecoveryDeadline: *recoveryDeadline,
+		}
 		if seedSet {
 			opts.SeedOverride = seed
 		}
@@ -218,6 +234,7 @@ func main() {
 		cfg := crystalnet.CampaignConfig{
 			N: *n, Seed: *seed, FaultsPerRun: *faults, Workers: *workers, Reuse: *reuse,
 			Trace: tracing,
+			MTBF:  *mtbf, Retry: retry, RecoveryDeadline: *recoveryDeadline,
 		}
 		rep, err := crystalnet.ChaosCampaign(base, cfg)
 		if err != nil {
@@ -250,7 +267,10 @@ func main() {
 	if *must != "" {
 		mustList = strings.Split(*must, ",")
 	}
-	o := crystalnet.New(crystalnet.Options{Seed: *seed, VMCount: *vms, Rec: rec})
+	o := crystalnet.New(crystalnet.Options{
+		Seed: *seed, VMCount: *vms, Rec: rec,
+		MTBF: *mtbf, Retry: retry, RecoveryDeadline: *recoveryDeadline,
+	})
 	prep, err := o.Prepare(crystalnet.PrepareInput{Network: network, MustEmulate: mustList})
 	if err != nil {
 		log.Fatal(err)

@@ -33,6 +33,7 @@ import (
 
 	"crystalnet/internal/bgp"
 	"crystalnet/internal/boundary"
+	"crystalnet/internal/cloud"
 	"crystalnet/internal/config"
 	"crystalnet/internal/core"
 	"crystalnet/internal/dataplane"
@@ -62,7 +63,24 @@ type (
 	Emulation = core.Emulation
 	// Metrics are the §8.1 latency measurements.
 	Metrics = core.Metrics
+	// RetryPolicy supervises cloud VM boots: per-attempt deadlines,
+	// deterministic jittered backoff, and replacement after the attempt
+	// budget. The zero value reproduces unsupervised boots byte-for-byte.
+	RetryPolicy = cloud.RetryPolicy
+	// FaultOutcome reports whether an injected VM fault fired immediately
+	// or was queued for the VM's next Running transition.
+	FaultOutcome = core.FaultOutcome
 )
+
+// Outcomes of Emulation.InjectVMFailure.
+const (
+	FaultFired  = core.FaultFired
+	FaultQueued = core.FaultQueued
+)
+
+// DefaultRetryPolicy returns the boot-supervision defaults used when a
+// non-zero RetryPolicy leaves fields unset.
+func DefaultRetryPolicy() RetryPolicy { return cloud.DefaultRetryPolicy }
 
 // Topology modelling.
 type (

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"crystalnet/internal/obs"
 	"crystalnet/internal/sim"
 )
 
@@ -83,17 +84,23 @@ type VM struct {
 	// scheduler assigns jobs to the earliest-free core.
 	coreFree []sim.Time
 
-	waiters []func()
+	waiters []func(*VM)
+
+	// bootAttempts counts boot attempts for the VM's current provisioning
+	// episode (reset on each Provision/Reboot, grown by retry).
+	bootAttempts int
 
 	provider *Provider
 }
 
-// WhenRunning invokes fn once the VM is Running — immediately (as a
+// WhenRunning invokes fn once a VM is Running — immediately (as a
 // scheduled event) if it already is, else on its next transition to
-// Running.
-func (vm *VM) WhenRunning(fn func()) {
+// Running. The callback receives the VM that actually came up: under a
+// retry policy a boot that exhausts its attempt budget is satisfied by a
+// replacement VM, and pending waiters follow the workload there.
+func (vm *VM) WhenRunning(fn func(*VM)) {
 	if vm.state == VMRunning {
-		vm.provider.eng.After(0, fn)
+		vm.provider.eng.After(0, func() { fn(vm) })
 		return
 	}
 	vm.waiters = append(vm.waiters, fn)
@@ -103,7 +110,7 @@ func (vm *VM) becameRunning() {
 	ws := vm.waiters
 	vm.waiters = nil
 	for _, fn := range ws {
-		fn()
+		fn(vm)
 	}
 }
 
@@ -117,7 +124,7 @@ func (vm *VM) Submit(coreSeconds float64, done func()) {
 		coreSeconds = 1e-6
 	}
 	now := vm.provider.eng.Now()
-	if vm.coreFree == nil {
+	if len(vm.coreFree) == 0 {
 		vm.coreFree = make([]sim.Time, vm.SKU.Cores)
 	}
 	// Earliest-free core.
@@ -141,8 +148,13 @@ func (vm *VM) Submit(coreSeconds float64, done func()) {
 
 // QueueDelay returns how far in the future the earliest-free core is — a
 // measure of CPU backlog.
+//
+// Invariant: coreFree is either empty (no Submit yet — it is lazily sized
+// to SKU.Cores by the first Submit) or has exactly SKU.Cores entries.
+// "Empty" includes a non-nil zero-length slice (e.g. a defensive copy of
+// an untouched schedule), so the guard is on length, not nil-ness.
 func (vm *VM) QueueDelay() time.Duration {
-	if vm.coreFree == nil {
+	if len(vm.coreFree) == 0 {
 		return 0
 	}
 	now := vm.provider.eng.Now()
@@ -205,6 +217,51 @@ func (vm *VM) Utilization(minute int) float64 {
 	return u
 }
 
+// RetryPolicy bounds cloud boot operations (§6.2 hardening). The zero
+// value disables supervision and reproduces the unsupervised legacy
+// behavior byte-for-byte: one boot attempt, no deadline, no replacement.
+//
+// With BootDeadline set, every Provision/Reboot attempt must come up
+// within the deadline. An attempt whose (jittered) boot draw exceeds it is
+// declared dead at the deadline and retried after an exponential backoff —
+// BackoffBase doubled per attempt, capped at BackoffMax, jittered from the
+// engine's PCG stream so retries stay deterministic per seed. After
+// MaxAttempts the VM is given up on and a replacement VM of the same
+// SKU/group is provisioned in its place (announced via Provider.OnReplace);
+// a replacement that also exhausts its budget is abandoned (deprovisioned,
+// announced via Provider.OnBootAborted) rather than chained forever.
+type RetryPolicy struct {
+	// MaxAttempts is the boot-attempt budget per VM (0 or 1 = no retry).
+	MaxAttempts int
+	// BootDeadline is the per-attempt boot timeout; 0 disables supervision.
+	BootDeadline time.Duration
+	// BackoffBase is the delay before the second attempt (default 5s).
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff (default 60s).
+	BackoffMax time.Duration
+}
+
+// DefaultRetryPolicy is a sane supervised configuration: three attempts,
+// 90s per-attempt deadline, 5s→60s exponential backoff.
+var DefaultRetryPolicy = RetryPolicy{MaxAttempts: 3, BootDeadline: 90 * time.Second, BackoffBase: 5 * time.Second, BackoffMax: 60 * time.Second}
+
+// supervised reports whether the policy bounds boots at all.
+func (rp RetryPolicy) supervised() bool { return rp.BootDeadline > 0 }
+
+// withDefaults fills unset knobs of a supervised policy.
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.MaxAttempts <= 0 {
+		rp.MaxAttempts = 1
+	}
+	if rp.BackoffBase <= 0 {
+		rp.BackoffBase = DefaultRetryPolicy.BackoffBase
+	}
+	if rp.BackoffMax <= 0 {
+		rp.BackoffMax = DefaultRetryPolicy.BackoffMax
+	}
+	return rp
+}
+
 // Provider is the simulated cloud.
 type Provider struct {
 	eng  *sim.Engine
@@ -214,9 +271,26 @@ type Provider struct {
 	// OnFailure is invoked when a VM fails (injected or random).
 	OnFailure func(vm *VM)
 
+	// OnReplace is invoked when a supervised boot exhausts its attempt
+	// budget and the workload moves to a freshly provisioned replacement
+	// VM (old is Stopped, replacement is Provisioning). The orchestration
+	// layer uses it to re-point placement at the replacement.
+	OnReplace func(old, replacement *VM)
+
+	// OnBootAborted is invoked when a pending boot can never complete:
+	// the VM was deprovisioned mid-boot, or a replacement VM also
+	// exhausted its attempt budget. Without this hook such a VM's
+	// onReady simply never fires — the silent-deadlock bug the recovery
+	// state machine exists to prevent.
+	OnBootAborted func(vm *VM)
+
 	// MTBF enables random VM failures when positive: each running VM fails
-	// after an exponentially distributed interval with this mean.
+	// after an exponentially distributed interval with this mean. Failure
+	// timers are daemon events — they never block convergence.
 	MTBF time.Duration
+
+	// Retry supervises Provision/Reboot; zero value = unsupervised.
+	Retry RetryPolicy
 
 	provisionCalls int
 }
@@ -240,79 +314,87 @@ func (p *Provider) Running() int {
 	return n
 }
 
+// newVM constructs a fresh VM handle in Provisioning state.
+func (p *Provider) newVM(sku SKU, group string) *VM {
+	vm := &VM{
+		ID:          p.next,
+		Name:        fmt.Sprintf("vm-%s-%d", group, p.next),
+		SKU:         sku,
+		Group:       group,
+		state:       VMProvisioning,
+		provisioned: p.eng.Now(),
+		busy:        map[int]float64{},
+		provider:    p,
+	}
+	p.next++
+	p.vms = append(p.vms, vm)
+	return vm
+}
+
 // Provision requests n VMs of the SKU in the given vendor group. VMs boot
 // independently with jittered latency; onReady fires per VM as it becomes
 // Running. Returns the VM handles immediately (in Provisioning state).
+// Under a supervised Retry policy, onReady may fire with a *replacement*
+// VM instead of the returned handle (see RetryPolicy).
 func (p *Provider) Provision(n int, sku SKU, group string, onReady func(*VM)) []*VM {
 	p.provisionCalls++
 	out := make([]*VM, 0, n)
 	for i := 0; i < n; i++ {
-		vm := &VM{
-			ID:          p.next,
-			Name:        fmt.Sprintf("vm-%s-%d", group, p.next),
-			SKU:         sku,
-			Group:       group,
-			state:       VMProvisioning,
-			provisioned: p.eng.Now(),
-			busy:        map[int]float64{},
-			provider:    p,
-		}
-		p.next++
-		p.vms = append(p.vms, vm)
+		vm := p.newVM(sku, group)
 		out = append(out, vm)
-		boot := p.eng.Jitter(sku.BootBase, sku.BootJitter)
-		p.eng.After(boot, func() {
-			if vm.state != VMProvisioning {
-				return
-			}
-			vm.state = VMRunning
-			vm.started = p.eng.Now()
-			p.scheduleFailure(vm)
-			if onReady != nil {
-				onReady(vm)
-			}
-			vm.becameRunning()
-		})
+		p.beginBoot(vm, 1, false, onReady)
 	}
 	return out
 }
 
-func (p *Provider) scheduleFailure(vm *VM) {
-	if p.MTBF <= 0 {
-		return
-	}
-	// Exponential inter-failure time with mean MTBF.
-	d := time.Duration(p.eng.Rand().ExpFloat64() * float64(p.MTBF))
-	p.eng.After(d, func() {
-		if vm.state != VMRunning {
-			return
-		}
-		p.Fail(vm)
-	})
-}
-
-// Fail marks a running VM as failed and notifies the orchestrator.
-func (p *Provider) Fail(vm *VM) {
-	if vm.state != VMRunning {
-		return
-	}
-	vm.runAccum += p.eng.Now().Sub(vm.started)
-	vm.state = VMFailed
-	if p.OnFailure != nil {
-		p.OnFailure(vm)
-	}
-}
-
-// Reboot returns a failed VM to service after its boot latency; onReady
-// fires when it is Running again.
-func (p *Provider) Reboot(vm *VM, onReady func(*VM)) {
-	if vm.state != VMFailed {
-		return
-	}
-	vm.state = VMProvisioning
+// beginBoot runs one supervised boot attempt. The boot duration is drawn
+// up front (one Jitter draw, same stream position as the unsupervised
+// path), so whether the attempt beats the deadline is decided here — no
+// racing deadline-vs-boot timers to cancel, which keeps the event and RNG
+// streams identical whether or not a retry layer is configured, as long
+// as no retry actually fires.
+func (p *Provider) beginBoot(vm *VM, attempt int, replaced bool, onReady func(*VM)) {
+	vm.bootAttempts = attempt
 	boot := p.eng.Jitter(vm.SKU.BootBase, vm.SKU.BootJitter)
+	rp := p.Retry.withDefaults()
+	if p.Retry.supervised() && boot > rp.BootDeadline {
+		// This attempt cannot come up before its deadline: it is declared
+		// dead at the deadline and retried after backoff, or the workload
+		// moves to a replacement VM once the attempt budget is spent.
+		p.eng.After(rp.BootDeadline, func() {
+			if vm.state != VMProvisioning {
+				p.bootAborted(vm)
+				return
+			}
+			p.counter("cloud.boot_deadline_expired", vm.Group).Inc()
+			if attempt < rp.MaxAttempts {
+				p.counter("cloud.boot_retries", vm.Group).Inc()
+				p.eng.After(p.backoff(rp, attempt), func() {
+					if vm.state != VMProvisioning {
+						p.bootAborted(vm)
+						return
+					}
+					p.beginBoot(vm, attempt+1, replaced, onReady)
+				})
+				return
+			}
+			if replaced {
+				// The replacement exhausted its budget too: abandon
+				// rather than chain replacements forever. The caller
+				// hears about it via OnBootAborted and bounds recovery
+				// with its own deadline.
+				p.counter("cloud.boot_abandoned", vm.Group).Inc()
+				p.Deprovision(vm)
+				p.bootAborted(vm)
+				return
+			}
+			p.replaceVM(vm, onReady)
+		})
+		return
+	}
 	p.eng.After(boot, func() {
 		if vm.state != VMProvisioning {
+			p.bootAborted(vm)
 			return
 		}
 		vm.state = VMRunning
@@ -323,6 +405,98 @@ func (p *Provider) Reboot(vm *VM, onReady func(*VM)) {
 		}
 		vm.becameRunning()
 	})
+}
+
+// replaceVM gives up on old and moves its workload — the onReady callback
+// and any pending WhenRunning waiters — to a freshly provisioned VM of
+// the same SKU and group.
+func (p *Provider) replaceVM(old *VM, onReady func(*VM)) {
+	p.counter("cloud.vm_replacements", old.Group).Inc()
+	old.state = VMStopped
+	old.stopped = p.eng.Now()
+	nv := p.newVM(old.SKU, old.Group)
+	nv.waiters = append(nv.waiters, old.waiters...)
+	old.waiters = nil
+	if p.OnReplace != nil {
+		p.OnReplace(old, nv)
+	}
+	p.beginBoot(nv, 1, true, onReady)
+}
+
+// bootAborted reports a boot whose onReady can never fire (the VM left
+// Provisioning under it, or a replacement was abandoned). Exactly one
+// pending boot-chain event exists per Provisioning VM, so the hook fires
+// at most once per abort.
+func (p *Provider) bootAborted(vm *VM) {
+	p.counter("cloud.boot_aborted", vm.Group).Inc()
+	if p.OnBootAborted != nil {
+		p.OnBootAborted(vm)
+	}
+}
+
+// backoff returns the jittered exponential delay before attempt+1.
+func (p *Provider) backoff(rp RetryPolicy, attempt int) time.Duration {
+	d := rp.BackoffBase
+	for i := 1; i < attempt && d < rp.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > rp.BackoffMax {
+		d = rp.BackoffMax
+	}
+	// Deterministic jitter: drawn from the engine's PCG stream, so two
+	// same-seed runs back off identically.
+	return p.eng.Jitter(d, d/2)
+}
+
+// counter vends a metric handle from the engine's recorder; nil-safe when
+// tracing is disabled.
+func (p *Provider) counter(name, label string) *obs.Counter {
+	return p.eng.Recorder().Counter(name, label)
+}
+
+func (p *Provider) scheduleFailure(vm *VM) {
+	if p.MTBF <= 0 {
+		return
+	}
+	// Exponential inter-failure time with mean MTBF. A daemon event: an
+	// armed failure timer must not keep Run from converging, or an
+	// emulation with MTBF set could never finish a wait-converge.
+	d := time.Duration(p.eng.Rand().ExpFloat64() * float64(p.MTBF))
+	p.eng.Daemon(d, func() {
+		if vm.state != VMRunning {
+			return
+		}
+		p.Fail(vm)
+	})
+}
+
+// Fail marks a running VM as failed and notifies the orchestrator. It
+// reports whether the fault actually fired: failing a VM that is not
+// Running (still provisioning, already failed, or stopped) is a no-op
+// and returns false, so callers can queue the fault or surface the error
+// instead of losing it silently.
+func (p *Provider) Fail(vm *VM) bool {
+	if vm.state != VMRunning {
+		return false
+	}
+	vm.runAccum += p.eng.Now().Sub(vm.started)
+	vm.state = VMFailed
+	if p.OnFailure != nil {
+		p.OnFailure(vm)
+	}
+	return true
+}
+
+// Reboot returns a failed VM to service after its boot latency; onReady
+// fires when it is Running again. Under a supervised Retry policy the
+// reboot is retried/replaced like a fresh Provision, so onReady may fire
+// with a replacement VM.
+func (p *Provider) Reboot(vm *VM, onReady func(*VM)) {
+	if vm.state != VMFailed {
+		return
+	}
+	vm.state = VMProvisioning
+	p.beginBoot(vm, 1, false, onReady)
 }
 
 // Deprovision stops and releases a VM (the paper's Destroy API path).

@@ -8,31 +8,34 @@ import "crystalnet/internal/sim"
 // bookkeeping. The source provider is read strictly read-only, so
 // concurrent forks are safe.
 //
-// OnFailure is left nil for the caller to wire to the fork's own recovery
-// path. Boot waiters are not copied: they are pending closures, and forks
-// are only taken at quiescence, when every boot callback has already fired.
+// OnFailure (and the other hooks) are left nil for the caller to wire to
+// the fork's own recovery path. Boot waiters are not copied: they are
+// pending closures, and forks are only taken at quiescence, when every
+// boot callback has already fired.
 func (p *Provider) Fork(eng *sim.Engine) (*Provider, map[*VM]*VM) {
 	c := &Provider{
 		eng:            eng,
 		next:           p.next,
 		MTBF:           p.MTBF,
+		Retry:          p.Retry,
 		provisionCalls: p.provisionCalls,
 	}
 	vmMap := make(map[*VM]*VM, len(p.vms))
 	c.vms = make([]*VM, len(p.vms))
 	for i, vm := range p.vms {
 		nv := &VM{
-			ID:          vm.ID,
-			Name:        vm.Name,
-			SKU:         vm.SKU,
-			Group:       vm.Group,
-			state:       vm.state,
-			provisioned: vm.provisioned,
-			started:     vm.started,
-			stopped:     vm.stopped,
-			runAccum:    vm.runAccum,
-			coreFree:    append([]sim.Time(nil), vm.coreFree...),
-			provider:    c,
+			ID:           vm.ID,
+			Name:         vm.Name,
+			SKU:          vm.SKU,
+			Group:        vm.Group,
+			state:        vm.state,
+			provisioned:  vm.provisioned,
+			started:      vm.started,
+			stopped:      vm.stopped,
+			runAccum:     vm.runAccum,
+			coreFree:     append([]sim.Time(nil), vm.coreFree...),
+			bootAttempts: vm.bootAttempts,
+			provider:     c,
 		}
 		if vm.busy != nil {
 			nv.busy = make(map[int]float64, len(vm.busy))

@@ -44,6 +44,19 @@ type Options struct {
 	// HealthInterval enables the §6.2 health/auto-recovery daemon when
 	// positive.
 	HealthInterval time.Duration
+	// MTBF enables random VM failures with this mean time between failures
+	// per VM (0 disables them). Failure timers are background (daemon)
+	// events: they never keep a convergence wait alive.
+	MTBF time.Duration
+	// Retry supervises cloud boot operations (per-attempt deadline,
+	// exponential backoff, replacement-VM fallback). The zero value keeps
+	// the legacy unsupervised behavior byte-for-byte.
+	Retry cloud.RetryPolicy
+	// RecoveryDeadline bounds each VM-recovery episode when positive: an
+	// episode that has not completed within the deadline (including across
+	// re-failures) is abandoned into degraded mode instead of wedging the
+	// emulation. 0 means unbounded.
+	RecoveryDeadline time.Duration
 	// Clouds spreads the emulation's VMs across this many clouds (§3.1:
 	// CrystalNet can simultaneously use multiple public and private
 	// clouds); frames between clouds cross the Internet overlay. 0/1 keeps
@@ -84,7 +97,10 @@ func New(opts Options) *Orchestrator {
 	opts.defaults()
 	eng := sim.NewEngine(opts.Seed)
 	eng.SetRecorder(opts.Rec)
-	return &Orchestrator{Eng: eng, Cloud: cloud.NewProvider(eng), opts: opts}
+	c := cloud.NewProvider(eng)
+	c.MTBF = opts.MTBF
+	c.Retry = opts.Retry
+	return &Orchestrator{Eng: eng, Cloud: c, opts: opts}
 }
 
 // Options returns the active options.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"crystalnet/internal/boundary"
@@ -68,6 +69,11 @@ type Emulation struct {
 	healthTick  *sim.Timer
 	healthArmed bool
 	cleared     bool
+	// Failure-domain hardening state (§6.2 recovery state machine).
+	recovering    map[*cloud.VM]*vmRecovery
+	degraded      []string
+	pendingFaults map[*cloud.VM]int
+	linkDown      map[linkKey]int // consecutive health ticks each link was seen down
 	// phasesTraced latches once the phase/convergence spans are recorded so
 	// repeated RunUntilConverged calls (and forks of a traced parent) do
 	// not duplicate them.
@@ -87,15 +93,18 @@ func (o *Orchestrator) Mockup(prep *Preparation, force bool) (*Emulation, error)
 	}
 	em := &Emulation{
 		orch: o, prep: prep,
-		Fabric:      phynet.NewFabric(o.Eng, o.opts.Backend),
-		Devices:     map[string]*firmware.Device{},
-		Speakers:    map[string]*speaker.Speaker{},
-		Mgmt:        mgmt.NewPlane(),
-		Injector:    telemetry.NewInjector(o.Eng),
-		containers:  map[string]*phynet.Container{},
-		vmOf:        map[string]*cloud.VM{},
-		vlinks:      map[linkKey]*phynet.VirtualLink{},
-		MockupStart: o.Eng.Now(),
+		Fabric:        phynet.NewFabric(o.Eng, o.opts.Backend),
+		Devices:       map[string]*firmware.Device{},
+		Speakers:      map[string]*speaker.Speaker{},
+		Mgmt:          mgmt.NewPlane(),
+		Injector:      telemetry.NewInjector(o.Eng),
+		containers:    map[string]*phynet.Container{},
+		vmOf:          map[string]*cloud.VM{},
+		vlinks:        map[linkKey]*phynet.VirtualLink{},
+		recovering:    map[*cloud.VM]*vmRecovery{},
+		pendingFaults: map[*cloud.VM]int{},
+		linkDown:      map[linkKey]int{},
+		MockupStart:   o.Eng.Now(),
 	}
 	for i, vm := range prep.VMs() {
 		h := em.Fabric.AddHost(vm.Name)
@@ -113,8 +122,7 @@ func (o *Orchestrator) Mockup(prep *Preparation, force bool) (*Emulation, error)
 	vms := prep.VMs()
 	em.vmsPending = len(vms)
 	for _, vm := range vms {
-		vm := vm
-		vm.WhenRunning(func() {
+		vm.WhenRunning(func(*cloud.VM) {
 			em.vmsPending--
 			if em.vmsPending == 0 {
 				em.build()
@@ -122,6 +130,8 @@ func (o *Orchestrator) Mockup(prep *Preparation, force bool) (*Emulation, error)
 		})
 	}
 	o.Cloud.OnFailure = em.onVMFailure
+	o.Cloud.OnReplace = em.onVMReplaced
+	o.Cloud.OnBootAborted = em.onBootAborted
 	return em, nil
 }
 
@@ -505,7 +515,9 @@ func (em *Emulation) AttachNewDevice(name string, img firmware.VendorImage, cfg 
 	}
 	fresh := em.orch.Cloud.Provision(1, sku, img.Name, nil)
 	em.prep.groupVMs[img.Name] = fresh
-	fresh[0].WhenRunning(func() { attach(fresh[0]) })
+	// The waiter receives whichever VM actually came up — under a retry
+	// policy that can be a replacement for fresh[0].
+	fresh[0].WhenRunning(func(vm *cloud.VM) { attach(vm) })
 	return nil
 }
 
@@ -699,7 +711,9 @@ func (em *Emulation) alert(format string, args ...any) {
 }
 
 func (em *Emulation) scheduleHealthCheck() {
-	em.healthTick = em.orch.Eng.After(em.orch.opts.HealthInterval, func() {
+	// The tick is a daemon event: an armed health monitor must not keep
+	// Run/wait-converge from reaching quiescence.
+	em.healthTick = em.orch.Eng.Daemon(em.orch.opts.HealthInterval, func() {
 		if em.cleared {
 			return
 		}
@@ -708,26 +722,95 @@ func (em *Emulation) scheduleHealthCheck() {
 	})
 }
 
-// healthCheck verifies device liveness and link state; crashed firmware is
-// alerted and restarted.
+// healthCheck verifies device liveness and link state. Crashed firmware is
+// alerted and restarted — unless its VM is mid-recovery, which owns the
+// restart. Link-down alerts are deduped per link (one alert when it goes
+// down, one when it is restored) so Alerts stays bounded under long
+// campaigns; both walks are in sorted order so the alert stream is
+// deterministic per seed.
 func (em *Emulation) healthCheck() {
-	for name, d := range em.Devices {
-		if d.State() == firmware.DeviceCrashed {
-			em.alert("device %s crashed; restarting", name)
-			d.Reload(nil, nil)
+	names := make([]string, 0, len(em.Devices))
+	for n := range em.Devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if em.Devices[name].State() != firmware.DeviceCrashed {
+			continue
+		}
+		if vm := em.vmOf[name]; vm != nil && em.recovering[vm] != nil {
+			continue // VM recovery will rebuild and reboot it
+		}
+		em.alert("device %s crashed; restarting", name)
+		if sp := em.Speakers[name]; sp != nil {
+			// A restarted speaker is empty until its recorded routes are
+			// replayed; re-inject once the reload completes.
+			em.Devices[name].Reload(nil, sp.Inject)
+		} else {
+			em.Devices[name].Reload(nil, nil)
 		}
 	}
-	for k, vl := range em.vlinks {
-		if !vl.Up() {
-			em.alert("link %s <-> %s down", k.a, k.b)
+	keys := make([]linkKey, 0, len(em.vlinks))
+	for k := range em.vlinks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	suppressed := em.orch.Eng.Recorder().Counter("health.alerts_suppressed", "")
+	for _, k := range keys {
+		if !em.vlinks[k].Up() {
+			if em.linkDown[k] == 0 {
+				em.alert("link %s <-> %s down", k.a, k.b)
+			} else {
+				suppressed.Inc()
+			}
+			em.linkDown[k]++
+		} else if n := em.linkDown[k]; n > 0 {
+			if n > 1 {
+				em.alert("link %s <-> %s restored (down %d checks)", k.a, k.b, n)
+			} else {
+				em.alert("link %s <-> %s restored", k.a, k.b)
+			}
+			delete(em.linkDown, k)
 		}
 	}
 }
 
+// vmRecovery tracks one VM's §6.2 auto-recovery episode from first failure
+// to all devices rebuilt. Re-failures mid-recovery re-arm the same episode:
+// epoch invalidates rebuild jobs already in flight (instead of letting them
+// double-decrement pending), and the optional deadline bounds the whole
+// episode no matter how many times it re-fails.
+type vmRecovery struct {
+	affected []string
+	start    sim.Time // first failure (episode start)
+	reset    sim.Time // latest device-reset phase start (the §8.3 metric)
+	epoch    int      // bumped on re-failure/abandon; stale jobs no-op
+	pending  int
+	refails  int
+	deadline *sim.Timer
+}
+
 // onVMFailure is the §6.2 auto-recovery path: reboot the VM, then reset its
-// devices and links (the 10-50 s phase measured in §8.3).
+// devices and links (the 10-50 s phase measured in §8.3). A failure of a VM
+// already under recovery — a queued fault firing the instant the VM came
+// back, or a random MTBF draw landing mid-episode — re-arms the episode.
 func (em *Emulation) onVMFailure(vm *cloud.VM) {
 	if em.cleared {
+		return
+	}
+	if rec := em.recovering[vm]; rec != nil {
+		rec.epoch++ // in-flight rebuild jobs are now stale
+		rec.refails++
+		rec.pending = 0
+		em.orch.Eng.Recorder().Counter("vm.recovery_refailures", "").Inc()
+		em.alert("VM %s failed again during recovery (re-failure %d); re-arming", vm.Name, rec.refails)
+		em.crashAffected(rec.affected)
+		em.rebootForRecovery(vm, rec)
 		return
 	}
 	em.alert("VM %s failed; rebooting", vm.Name)
@@ -738,31 +821,173 @@ func (em *Emulation) onVMFailure(vm *cloud.VM) {
 		}
 	}
 	sort.Strings(affected)
-	// The VM's devices are gone; their neighbors see links drop.
+	rec := &vmRecovery{affected: affected, start: em.orch.Eng.Now()}
+	em.recovering[vm] = rec
+	if d := em.orch.opts.RecoveryDeadline; d > 0 {
+		rec.deadline = em.orch.Eng.After(d, func() {
+			em.abandonRecovery(vm, rec, fmt.Sprintf("recovery deadline %s exceeded", d))
+		})
+	}
+	em.crashAffected(affected)
+	em.rebootForRecovery(vm, rec)
+}
+
+// crashAffected marks a failed VM's devices dead and drops their links.
+// Safe to repeat on re-failure: Crash and SetLinkState(false) are no-ops
+// on already-crashed devices and already-down links.
+func (em *Emulation) crashAffected(affected []string) {
 	for _, name := range affected {
 		em.Devices[name].Crash("VM failure")
 		em.dropDeviceLinks(name)
 	}
-	em.orch.Cloud.Reboot(vm, func(vm *cloud.VM) {
-		start := em.orch.Eng.Now()
-		pending := len(affected)
-		for _, name := range affected {
-			name := name
-			vm.Submit(recoverWorkPerBox, func() {
-				em.rebuildContainer(name)
-				em.Devices[name].Boot(nil)
-				pending--
-				if pending == 0 {
-					dur := em.orch.Eng.Now().Sub(start)
-					em.recoveries = append(em.recoveries, dur)
-					em.orch.Eng.Recorder().Histogram("vm.recovery_seconds", "").Observe(dur.Seconds())
-					em.orch.Eng.Recorder().SpanAt("recover", vm.Name, int64(start), int64(em.orch.Eng.Now()))
-					em.alert("VM %s recovered (%d devices reset in %s)",
-						vm.Name, len(affected), dur)
-				}
-			})
+}
+
+// rebootForRecovery asks the cloud to bring the episode's VM back and, once
+// some VM is Running for it (possibly a replacement), starts the device
+// reset phase — unless the episode was re-armed or abandoned meanwhile.
+func (em *Emulation) rebootForRecovery(vm *cloud.VM, rec *vmRecovery) {
+	epoch := rec.epoch
+	em.orch.Cloud.Reboot(vm, func(host *cloud.VM) {
+		if em.cleared || rec.epoch != epoch {
+			return
 		}
+		em.beginDeviceReset(host, rec)
 	})
+}
+
+// beginDeviceReset rebuilds every affected device's container on the
+// now-running host. Each job captures the episode epoch: a re-failure or
+// abandon bumps it, turning jobs from the superseded wave into no-ops
+// instead of double-decrementing pending.
+func (em *Emulation) beginDeviceReset(host *cloud.VM, rec *vmRecovery) {
+	rec.reset = em.orch.Eng.Now()
+	rec.pending = len(rec.affected)
+	epoch := rec.epoch
+	if rec.pending == 0 {
+		em.finishRecovery(host, rec)
+		return
+	}
+	for _, name := range rec.affected {
+		name := name
+		host.Submit(recoverWorkPerBox, func() {
+			if em.cleared || rec.epoch != epoch {
+				return
+			}
+			em.rebuildContainer(name)
+			// Speakers must replay their recorded announcements after the
+			// reboot, or the boundary routes they stand in for are silently
+			// lost until the run ends (Start = Boot + Inject).
+			if sp := em.Speakers[name]; sp != nil {
+				sp.Start(nil)
+			} else {
+				em.Devices[name].Boot(nil)
+			}
+			rec.pending--
+			if rec.pending == 0 {
+				em.finishRecovery(host, rec)
+			}
+		})
+	}
+}
+
+// finishRecovery closes a recovery episode: records the device-reset
+// latency (the §8.3 metric — VM boot time is excluded, matching how
+// production measures the recovery agent), cancels the deadline, and
+// retires the episode.
+func (em *Emulation) finishRecovery(host *cloud.VM, rec *vmRecovery) {
+	rec.deadline.Cancel()
+	delete(em.recovering, host)
+	dur := em.orch.Eng.Now().Sub(rec.reset)
+	em.recoveries = append(em.recoveries, dur)
+	em.orch.Eng.Recorder().Histogram("vm.recovery_seconds", "").Observe(dur.Seconds())
+	em.orch.Eng.Recorder().SpanAt("recover", host.Name, int64(rec.reset), int64(em.orch.Eng.Now()))
+	if rec.refails > 0 {
+		em.alert("VM %s recovered (%d devices reset in %s, after %d re-failures)",
+			host.Name, len(rec.affected), dur, rec.refails)
+	} else {
+		em.alert("VM %s recovered (%d devices reset in %s)",
+			host.Name, len(rec.affected), dur)
+	}
+}
+
+// abandonRecovery gives an episode up — the deadline expired, or the cloud
+// reported the boot can never complete (VM deprovisioned mid-reboot,
+// replacement abandoned). The affected devices stay crashed; instead of a
+// silent deadlock, the episode lands in Degraded() and the alert stream,
+// and wait-converge completes.
+func (em *Emulation) abandonRecovery(vm *cloud.VM, rec *vmRecovery, why string) {
+	if em.cleared || em.recovering[vm] != rec {
+		return
+	}
+	rec.epoch++ // strand any in-flight rebuild jobs
+	rec.deadline.Cancel()
+	delete(em.recovering, vm)
+	em.orch.Eng.Recorder().Counter("vm.recovery_abandoned", "").Inc()
+	summary := fmt.Sprintf("VM %s: %s after %s; %d devices degraded: %s",
+		vm.Name, why, em.orch.Eng.Now().Sub(rec.start), len(rec.affected), strings.Join(rec.affected, ", "))
+	em.degraded = append(em.degraded, summary)
+	em.alert("%s", summary)
+}
+
+// onVMReplaced re-points placement at a replacement VM: the fabric gains a
+// host for it (same region), affected containers and devices move over,
+// and the group/recovery/queued-fault bookkeeping is rekeyed so rebuilds
+// and pending faults land on the VM that actually runs the workload.
+func (em *Emulation) onVMReplaced(old, nv *cloud.VM) {
+	if em.cleared {
+		return
+	}
+	em.alert("VM %s gave up booting; replaced by %s", old.Name, nv.Name)
+	oldHost := em.Fabric.Host(old.Name)
+	h := em.Fabric.AddHost(nv.Name)
+	if oldHost != nil {
+		h.Region = oldHost.Region
+	}
+	var moved []string
+	for name, v := range em.vmOf {
+		if v == old {
+			moved = append(moved, name)
+		}
+	}
+	sort.Strings(moved)
+	for _, name := range moved {
+		em.vmOf[name] = nv
+		if oldHost != nil {
+			oldHost.RemoveContainer(name)
+		}
+		if dev := em.Devices[name]; dev != nil {
+			dev.AssignVM(nv)
+		}
+	}
+	// In-place swap keeps prep.assignments' (group, index) addressing valid.
+	for g, vms := range em.prep.groupVMs {
+		for i, v := range vms {
+			if v == old {
+				em.prep.groupVMs[g][i] = nv
+			}
+		}
+	}
+	if rec := em.recovering[old]; rec != nil {
+		delete(em.recovering, old)
+		em.recovering[nv] = rec
+	}
+	if n := em.pendingFaults[old]; n > 0 {
+		delete(em.pendingFaults, old)
+		em.pendingFaults[nv] += n
+	}
+}
+
+// onBootAborted handles the cloud's "this boot can never complete" signal:
+// a VM deprovisioned during its (re)boot window, or a replacement VM that
+// exhausted its own attempt budget. Without it the episode's onReady would
+// simply never fire — the silent recovery deadlock this layer removes.
+func (em *Emulation) onBootAborted(vm *cloud.VM) {
+	if em.cleared {
+		return
+	}
+	if rec := em.recovering[vm]; rec != nil {
+		em.abandonRecovery(vm, rec, "VM boot aborted ("+vm.State().String()+")")
+	}
 }
 
 // dropDeviceLinks cuts every emulated link touching the named device and
@@ -791,17 +1016,88 @@ func (em *Emulation) dropDeviceLinks(name string) {
 // Recoveries returns measured VM-recovery durations (§8.3).
 func (em *Emulation) Recoveries() []time.Duration { return em.recoveries }
 
+// Degraded returns the degraded-mode summaries of recovery episodes that
+// were abandoned (deadline exceeded or boot aborted) instead of completing.
+func (em *Emulation) Degraded() []string { return em.degraded }
+
+// FaultsPending returns how many injected VM faults are still queued,
+// waiting for their VM to reach Running. A nonzero value at the end of a
+// run means injected faults never actually happened — the scenario layer
+// surfaces (and fails on) it rather than letting them vanish.
+func (em *Emulation) FaultsPending() int {
+	n := 0
+	for _, c := range em.pendingFaults {
+		n += c
+	}
+	return n
+}
+
+// FaultOutcome reports what InjectVMFailure did with a fault.
+type FaultOutcome int
+
+// Fault outcomes.
+const (
+	// FaultFired: the VM was Running and failed on the spot.
+	FaultFired FaultOutcome = iota
+	// FaultQueued: the VM was Provisioning or already Failed; the fault is
+	// armed to fire on its next transition to Running (tracked by
+	// FaultsPending until then).
+	FaultQueued
+)
+
+// String names the outcome.
+func (o FaultOutcome) String() string {
+	if o == FaultQueued {
+		return "queued"
+	}
+	return "fired"
+}
+
 // InjectVMFailure fails the VM hosting the named device — the §6.2 failure
 // drill a scenario triggers on demand instead of waiting for the cloud's
 // random failure process. Recovery is automatic (onVMFailure) and its
 // latency lands in Recoveries().
-func (em *Emulation) InjectVMFailure(device string) error {
+//
+// A fault is never silently dropped: if the VM is Running it fires now; if
+// it is Provisioning or Failed (for example mid-recovery from an earlier
+// fault) it is queued to fire the moment the VM — or its replacement — is
+// Running again; if it is deprovisioned the fault is impossible and a
+// distinct error says so.
+func (em *Emulation) InjectVMFailure(device string) (FaultOutcome, error) {
 	vm := em.vmOf[device]
 	if vm == nil {
-		return fmt.Errorf("core: no VM hosts device %q", device)
+		return 0, fmt.Errorf("core: no VM hosts device %q", device)
 	}
-	em.orch.Cloud.Fail(vm)
-	return nil
+	if em.orch.Cloud.Fail(vm) {
+		em.orch.Eng.Recorder().Counter("vm.faults_fired", "").Inc()
+		return FaultFired, nil
+	}
+	if vm.State() == cloud.VMStopped {
+		return 0, fmt.Errorf("core: VM %s hosting %q is deprovisioned; fault cannot fire", vm.Name, device)
+	}
+	em.queueFault(vm)
+	em.orch.Eng.Recorder().Counter("vm.faults_queued", "").Inc()
+	return FaultQueued, nil
+}
+
+// queueFault arms a fault to fire when vm next reaches Running. The waiter
+// travels with the workload: if the boot is satisfied by a replacement VM,
+// the fault fires on the replacement (and the pending count, rekeyed by
+// onVMReplaced, is decremented on whichever VM delivered it).
+func (em *Emulation) queueFault(vm *cloud.VM) {
+	em.pendingFaults[vm]++
+	vm.WhenRunning(func(running *cloud.VM) {
+		if em.pendingFaults[running] > 0 {
+			em.pendingFaults[running]--
+			if em.pendingFaults[running] == 0 {
+				delete(em.pendingFaults, running)
+			}
+		}
+		if em.cleared {
+			return
+		}
+		em.orch.Cloud.Fail(running)
+	})
 }
 
 // VMName reports which VM hosts the named device ("" for hardware devices
@@ -818,10 +1114,22 @@ func (em *Emulation) VMName(device string) string {
 // completion time.
 func (em *Emulation) Clear(onDone func()) {
 	clearStart := em.orch.Eng.Now()
+	// Faults still queued at teardown will never fire: say so loudly
+	// (lost-fault detection) before marking the emulation cleared.
+	if n := em.FaultsPending(); n > 0 {
+		em.orch.Eng.Recorder().Counter("vm.faults_lost", "").Add(uint64(n))
+		em.alert("clearing with %d queued VM fault(s) that never fired", n)
+	}
 	em.cleared = true
 	em.healthArmed = false
 	if em.healthTick != nil {
 		em.healthTick.Cancel()
+	}
+	// Cancel recovery deadlines eagerly so teardown leaves no stray timers
+	// (checkpointing after Clear requires a fully drained queue). Cancel
+	// consumes no randomness, so map order is immaterial.
+	for _, rec := range em.recovering {
+		rec.deadline.Cancel()
 	}
 	// Iterate in sorted order everywhere below: teardown consumes engine RNG
 	// (the per-VM clear jitter), and drawing it in map-iteration order would

@@ -70,7 +70,7 @@ func TestInjectVMFailureRecoveries(t *testing.T) {
 	o, em := fullEmulation(t, Options{Seed: 5})
 	defer o.Destroy(em.prep)
 
-	if err := em.InjectVMFailure("no-such-device"); err == nil {
+	if _, err := em.InjectVMFailure("no-such-device"); err == nil {
 		t.Fatal("InjectVMFailure on unknown device should fail")
 	}
 	if got := em.VMName("no-such-device"); got != "" {
@@ -83,7 +83,7 @@ func TestInjectVMFailureRecoveries(t *testing.T) {
 		t.Fatalf("recoveries before any failure: %v", em.Recoveries())
 	}
 
-	if err := em.InjectVMFailure("tor-p0-0"); err != nil {
+	if _, err := em.InjectVMFailure("tor-p0-0"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := em.RunUntilConverged(0); err != nil {
@@ -105,7 +105,7 @@ func TestInjectVMFailureRecoveries(t *testing.T) {
 		t.Fatal("recovered ToR lost its routes")
 	}
 	// A second drill appends, not overwrites.
-	if err := em.InjectVMFailure("leaf-p1-1"); err != nil {
+	if _, err := em.InjectVMFailure("leaf-p1-1"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := em.RunUntilConverged(0); err != nil {

@@ -103,7 +103,24 @@ func (o *Orchestrator) Fork(snap *checkpoint.Snapshot) (*Emulation, error) {
 
 		Alerts:       checkpoint.CloneSlice(parent.Alerts),
 		recoveries:   checkpoint.CloneSlice(parent.recoveries),
+		degraded:     checkpoint.CloneSlice(parent.degraded),
 		phasesTraced: parent.phasesTraced,
+
+		// Quiescence guarantees no recovery episode is in flight (a pending
+		// reboot or rebuild would be a queued event), so recovering starts
+		// empty. Queued faults, however, can outlive quiescence — a fault
+		// queued on a VM that never came back — and their *count* is carried
+		// over for lost-fault accounting; the waiter closures themselves
+		// cannot cross a fork (cloud.Fork documents this).
+		recovering:    map[*cloud.VM]*vmRecovery{},
+		pendingFaults: make(map[*cloud.VM]int, len(parent.pendingFaults)),
+		linkDown:      make(map[linkKey]int, len(parent.linkDown)),
+	}
+	for vm, n := range parent.pendingFaults {
+		em.pendingFaults[vmMap[vm]] = n
+	}
+	for k, n := range parent.linkDown {
+		em.linkDown[k] = n
 	}
 	for name, ct := range parent.containers {
 		em.containers[name] = ctMap[ct]
@@ -130,6 +147,8 @@ func (o *Orchestrator) Fork(snap *checkpoint.Snapshot) (*Emulation, error) {
 	}
 	em.Mgmt = parent.Mgmt.Fork(func(name string) *firmware.Device { return em.Devices[name] })
 	cloudFork.OnFailure = em.onVMFailure
+	cloudFork.OnReplace = em.onVMReplaced
+	cloudFork.OnBootAborted = em.onBootAborted
 	return em, nil
 }
 

@@ -214,6 +214,12 @@ func WithVM(vm *cloud.VM) Option {
 	return func(d *Device) { d.vm = vm }
 }
 
+// AssignVM re-points the device's CPU work at a different VM. The
+// orchestration layer uses it when a failed VM is replaced rather than
+// rebooted: subsequent boot/route work must be charged to the VM that
+// actually hosts the container now.
+func (d *Device) AssignVM(vm *cloud.VM) { d.vm = vm }
+
 // New creates a stopped device bound to a PhyNet container. The container's
 // interfaces must already exist (the PhyNet layer owns them).
 func New(name string, image VendorImage, cfg *config.DeviceConfig,

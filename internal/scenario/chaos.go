@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"crystalnet/internal/cloud"
 	"crystalnet/internal/obs"
 	"crystalnet/internal/parallel"
 	"crystalnet/internal/topo"
@@ -37,6 +38,28 @@ type CampaignConfig struct {
 	// the shared convergence is traced once and each run's trace starts
 	// with a copy of it, exactly as a fresh traced run would look.
 	Trace bool
+	// MTBF arms seeded random VM failures in every run (Options.MTBF),
+	// layering background faults on top of the injected sequences.
+	// Incompatible with Reuse: the failure timers are daemon events that
+	// cannot cross the shared checkpoint.
+	MTBF time.Duration
+	// Retry supervises VM boots in every run (Options.Retry).
+	Retry cloud.RetryPolicy
+	// RecoveryDeadline bounds each recovery episode in every run
+	// (Options.RecoveryDeadline).
+	RecoveryDeadline time.Duration
+}
+
+// runOptions builds one run's Options from the campaign knobs.
+func (cfg *CampaignConfig) runOptions() Options {
+	opts := Options{
+		MaxEvents: cfg.MaxEvents,
+		MTBF:      cfg.MTBF, Retry: cfg.Retry, RecoveryDeadline: cfg.RecoveryDeadline,
+	}
+	if cfg.Trace {
+		opts.Rec = obs.New()
+	}
+	return opts
 }
 
 // tracedReport pairs one run's report with its recorder (nil unless the
@@ -99,6 +122,9 @@ func Chaos(base *Spec, cfg CampaignConfig) (*CampaignReport, error) {
 
 	var traces []*tracedReport
 	if cfg.Reuse {
+		if cfg.MTBF > 0 {
+			return nil, fmt.Errorf("scenario: chaos Reuse is incompatible with MTBF faults (background failure timers cannot cross the shared checkpoint)")
+		}
 		for i := range base.Steps {
 			if base.Steps[i].Op == OpAttachDevice {
 				return nil, fmt.Errorf("scenario: chaos Reuse is incompatible with attach-device steps (forks share the topology)")
@@ -109,22 +135,16 @@ func Chaos(base *Spec, cfg CampaignConfig) (*CampaignReport, error) {
 		// convergence); only the fault draws stay per-run.
 		convBase := base.Clone()
 		convBase.Seed = cfg.Seed
-		convOpts := Options{MaxEvents: cfg.MaxEvents}
-		if cfg.Trace {
-			// Trace the shared convergence; every fork starts from a deep
-			// copy of this recorder, so each run's trace is complete.
-			convOpts.Rec = obs.New()
-		}
-		conv, err := Converge(convBase, convOpts)
+		// runOptions traces the shared convergence when cfg.Trace; every
+		// fork starts from a deep copy of that recorder, so each run's
+		// trace is complete.
+		conv, err := Converge(convBase, cfg.runOptions())
 		if err != nil {
 			return nil, err
 		}
 		traces = parallel.Map(cfg.N, cfg.Workers, func(i int) *tracedReport {
 			sp := expandRun(base, cand, i, cfg.Seed, runSeed(cfg.Seed, i), cfg.FaultsPerRun)
-			opts := Options{MaxEvents: cfg.MaxEvents}
-			if cfg.Trace {
-				opts.Rec = obs.New()
-			}
+			opts := cfg.runOptions()
 			rep, err := conv.Run(sp, opts)
 			if err != nil {
 				return &tracedReport{rep: &Report{Scenario: sp.Name, Seed: cfg.Seed, Error: err.Error()}, rec: opts.Rec}
@@ -135,10 +155,7 @@ func Chaos(base *Spec, cfg CampaignConfig) (*CampaignReport, error) {
 		traces = parallel.Map(cfg.N, cfg.Workers, func(i int) *tracedReport {
 			seed := runSeed(cfg.Seed, i)
 			sp := expandRun(base, cand, i, seed, seed, cfg.FaultsPerRun)
-			opts := Options{MaxEvents: cfg.MaxEvents}
-			if cfg.Trace {
-				opts.Rec = obs.New()
-			}
+			opts := cfg.runOptions()
 			rep, err := Run(sp, opts)
 			if err != nil {
 				return &tracedReport{rep: &Report{Scenario: sp.Name, Seed: seed, Error: err.Error()}, rec: opts.Rec}

@@ -57,6 +57,14 @@ type Report struct {
 	Passed          bool         `json:"passed"`
 	// Alerts are the §6.2 health-monitor alerts raised during the run.
 	Alerts []string `json:"alerts,omitempty"`
+	// Degraded lists recovery episodes that were abandoned (deadline
+	// exceeded, VM gone) and left devices down — the run completed in
+	// degraded mode rather than hanging.
+	Degraded []string `json:"degraded,omitempty"`
+	// PendingFaults counts injected VM faults that were still queued when
+	// the run ended — a nonzero value means a fault was lost, and the run
+	// is failed regardless of its checks.
+	PendingFaults int `json:"pendingFaults,omitempty"`
 	// Error is set when the run aborted before completing all steps.
 	Error string `json:"error,omitempty"`
 }

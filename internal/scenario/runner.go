@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crystalnet/internal/batfish"
+	"crystalnet/internal/cloud"
 	"crystalnet/internal/config"
 	"crystalnet/internal/core"
 	"crystalnet/internal/dataplane"
@@ -47,6 +48,19 @@ type Options struct {
 	// everything the shared convergence recorded — so the caller's handle
 	// always holds the run's complete trace.
 	Rec *obs.Recorder
+	// MTBF arms seeded random VM failures on every provisioned VM
+	// (core.Options.MTBF); zero disables them. The failure timers are
+	// daemon events, so convergence drives still terminate with them
+	// armed — but they preclude checkpointing (Converge rejects it).
+	MTBF time.Duration
+	// Retry supervises VM boots with per-attempt deadlines, backoff and
+	// replacement (core.Options.Retry). The zero value reproduces
+	// unsupervised boots byte-for-byte.
+	Retry cloud.RetryPolicy
+	// RecoveryDeadline bounds each VM-failure recovery episode
+	// (core.Options.RecoveryDeadline); zero means unbounded. Episodes
+	// that exceed it are abandoned into the report's Degraded list.
+	RecoveryDeadline time.Duration
 }
 
 // runner executes one spec against one emulation.
@@ -117,13 +131,20 @@ func (r *runner) drive() *Report {
 
 	r.report.VirtualDuration = r.orch.Eng.Now().Sub(r.em.MockupStart).String()
 	r.report.Alerts = append([]string(nil), r.em.Alerts...)
+	r.report.Degraded = append([]string(nil), r.em.Degraded()...)
+	r.report.PendingFaults = r.em.FaultsPending()
 	r.report.Passed = r.passed()
 	return r.report
 }
 
-// passed folds every step and invariant outcome.
+// passed folds every step and invariant outcome. A fault still pending at
+// the end of the run means an injected failure never fired — a lost fault
+// must fail the run rather than pass silently.
 func (r *runner) passed() bool {
 	if r.report.Error != "" {
+		return false
+	}
+	if r.report.PendingFaults > 0 {
 		return false
 	}
 	for i := range r.report.Steps {
@@ -187,7 +208,10 @@ func (r *runner) mockup(seed int64) error {
 		}
 	}
 
-	r.orch = core.New(core.Options{Seed: seed, Rec: r.opts.Rec})
+	r.orch = core.New(core.Options{
+		Seed: seed, Rec: r.opts.Rec,
+		MTBF: r.opts.MTBF, Retry: r.opts.Retry, RecoveryDeadline: r.opts.RecoveryDeadline,
+	})
 	prep, err := r.orch.Prepare(core.PrepareInput{
 		Network: net, MustEmulate: must, Images: images,
 	})
@@ -348,11 +372,19 @@ func (r *runner) step(st *Step, res *StepResult) {
 
 	case OpInjectVMFailure:
 		vm := r.em.VMName(st.Device)
-		if err := r.em.InjectVMFailure(st.Device); err != nil {
+		outcome, err := r.em.InjectVMFailure(st.Device)
+		if err != nil {
 			fail("%v", err)
 			return
 		}
-		res.Detail = fmt.Sprintf("failed VM %s (hosting %s)", vm, st.Device)
+		if outcome == core.FaultQueued {
+			// The VM is mid-boot or mid-recovery: the fault is armed to
+			// fire on its next Running transition, and the report's
+			// PendingFaults tally keeps it visible until it does.
+			res.Detail = fmt.Sprintf("queued VM failure for %s (hosting %s)", vm, st.Device)
+		} else {
+			res.Detail = fmt.Sprintf("failed VM %s (hosting %s)", vm, st.Device)
+		}
 
 	case OpExec:
 		s, err := r.em.Login(st.Device)

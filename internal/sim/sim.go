@@ -44,12 +44,13 @@ func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 // free list once they fire or are canceled; gen guards stale Timer handles
 // against canceling an unrelated reuse.
 type event struct {
-	at    Time
-	seq   uint64 // tie-breaker for deterministic FIFO ordering at equal times
-	fn    func()
-	index int // heap index, -1 once popped or canceled
-	gen   uint32
-	eng   *Engine
+	at     Time
+	seq    uint64 // tie-breaker for deterministic FIFO ordering at equal times
+	fn     func()
+	index  int // heap index, -1 once popped or canceled
+	gen    uint32
+	daemon bool // background event: does not keep Run from converging
+	eng    *Engine
 }
 
 // eventQueue is a hand-rolled binary min-heap of events ordered by
@@ -177,6 +178,9 @@ func (t *Timer) Cancel() bool {
 	if ev.gen != t.gen || ev.index < 0 {
 		return false
 	}
+	if ev.daemon {
+		ev.eng.daemons--
+	}
 	ev.eng.queue.removeAt(ev.index)
 	ev.eng.recycle(ev)
 	return true
@@ -192,15 +196,16 @@ const maxFreeEvents = 1 << 16
 // (the experiment harness parallelizes across independent engines, never
 // within one).
 type Engine struct {
-	now    Time
-	queue  eventQueue
-	free   []*event // recycled events, bounded by maxFreeEvents
-	seq    uint64
-	rng    *RNG
-	fired  uint64
-	maxed  bool
-	halted bool
-	rec    *obs.Recorder // nil unless tracing is enabled
+	now     Time
+	queue   eventQueue
+	free    []*event // recycled events, bounded by maxFreeEvents
+	seq     uint64
+	rng     *RNG
+	fired   uint64
+	daemons int // pending daemon events (subset of queue)
+	maxed   bool
+	halted  bool
+	rec     *obs.Recorder // nil unless tracing is enabled
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -227,6 +232,9 @@ type EngineState struct {
 // restored engine's future identical to the original's.
 func (e *Engine) Snapshot() (EngineState, error) {
 	if len(e.queue) != 0 {
+		if e.daemons == len(e.queue) {
+			return EngineState{}, fmt.Errorf("sim: cannot snapshot engine with %d pending daemon events (background failure/health timers cannot cross a snapshot)", e.daemons)
+		}
 		return EngineState{}, fmt.Errorf("sim: cannot snapshot engine with %d pending events", len(e.queue))
 	}
 	return EngineState{Now: e.now, Seq: e.seq, Fired: e.fired, RNG: e.rng.State()}, nil
@@ -269,6 +277,10 @@ func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 // are removed from the queue eagerly, so they never count.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// PendingDaemons reports how many of the pending events are daemon
+// (background) events scheduled via Daemon.
+func (e *Engine) PendingDaemons() int { return e.daemons }
+
 // Fired reports how many events have executed since the engine was created.
 func (e *Engine) Fired() uint64 { return e.fired }
 
@@ -277,6 +289,7 @@ func (e *Engine) Fired() uint64 { return e.fired }
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.index = -1
+	ev.daemon = false
 	ev.gen++
 	if len(e.free) < maxFreeEvents {
 		e.free = append(e.free, ev)
@@ -312,6 +325,25 @@ func (e *Engine) After(d time.Duration, fn func()) *Timer {
 	return e.At(e.now.Add(d), fn)
 }
 
+// Daemon schedules fn like After, but marks the event as a background
+// (daemon) event: Run treats a queue holding only daemon events as
+// quiescent and returns instead of chasing them forever. MTBF failure
+// timers and health-monitor ticks are daemons — they are always armed, so
+// without this marker an emulation with random failures enabled could
+// never "converge" (the queue would never drain). Daemon events still fire
+// normally whenever ordinary events scheduled after them keep the run
+// alive, and always fire under RunUntil/RunFor within the deadline.
+//
+// Work that a daemon event spawns should be scheduled as ordinary events
+// (or further daemons, for the recurring timer itself) so that convergence
+// tracks real pending work.
+func (e *Engine) Daemon(d time.Duration, fn func()) *Timer {
+	t := e.After(d, fn)
+	t.ev.daemon = true
+	e.daemons++
+	return t
+}
+
 // Jitter returns a duration drawn uniformly from [d, d+spread).
 func (e *Engine) Jitter(d, spread time.Duration) time.Duration {
 	if spread <= 0 {
@@ -331,6 +363,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.queue.popMin()
+	if ev.daemon {
+		e.daemons--
+	}
 	e.now = ev.at
 	e.fired++
 	fn := ev.fn
@@ -339,8 +374,9 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains (quiescence), Halt is called,
-// or maxEvents fire (0 means no limit). It returns the number of events
+// Run executes events until the queue drains to quiescence (no events, or
+// only daemon events, remain), Halt is called, or maxEvents fire (0 means
+// no limit). It returns the number of events
 // executed and an error if the event cap was hit — which in an emulation
 // almost always means a routing loop or livelock.
 //
@@ -365,6 +401,12 @@ func (e *Engine) run(maxEvents uint64) (uint64, error) {
 		if maxEvents > 0 && n >= maxEvents {
 			e.maxed = true
 			return n, fmt.Errorf("sim: event cap %d reached at t=%s (possible livelock)", maxEvents, e.now)
+		}
+		// Quiescent when only daemon events (recurring background timers)
+		// remain: the emulation has no real work left, so Run converges
+		// instead of firing failure/health timers until the end of time.
+		if len(e.queue) == e.daemons {
+			break
 		}
 		if !e.Step() {
 			break

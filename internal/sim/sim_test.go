@@ -313,3 +313,78 @@ func TestPropertyMonotonicClock(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDaemonDoesNotBlockRunConvergence(t *testing.T) {
+	e := NewEngine(1)
+	var work, ticks int
+	e.After(2*time.Second, func() { work++ })
+	e.Daemon(10*time.Second, func() { ticks++ })
+	n, err := e.Run(0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 1 || work != 1 || ticks != 0 {
+		t.Fatalf("Run fired n=%d work=%d ticks=%d; want 1,1,0 (daemon must stay queued)", n, work, ticks)
+	}
+	if e.Now() != Time(2*time.Second) {
+		t.Fatalf("clock = %v, want 2s (Run must not chase the daemon)", e.Now())
+	}
+	if e.Pending() != 1 || e.PendingDaemons() != 1 {
+		t.Fatalf("Pending=%d PendingDaemons=%d, want 1,1", e.Pending(), e.PendingDaemons())
+	}
+}
+
+func TestDaemonFiresWhenOvertakenByRealWork(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Daemon(5*time.Second, func() { order = append(order, "daemon") })
+	e.After(10*time.Second, func() { order = append(order, "work") })
+	e.Run(0)
+	// The daemon's time precedes pending real work, so it fires in order.
+	if len(order) != 2 || order[0] != "daemon" || order[1] != "work" {
+		t.Fatalf("order = %v, want [daemon work]", order)
+	}
+	if e.PendingDaemons() != 0 {
+		t.Fatalf("PendingDaemons = %d after firing, want 0", e.PendingDaemons())
+	}
+}
+
+func TestDaemonFiresUnderRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var ticks int
+	var rearm func()
+	rearm = func() { e.Daemon(time.Minute, func() { ticks++; rearm() }) }
+	rearm()
+	e.RunFor(10 * time.Minute)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d over 10m of RunFor, want 10", ticks)
+	}
+	if e.PendingDaemons() != 1 {
+		t.Fatalf("PendingDaemons = %d, want 1 (re-armed tick)", e.PendingDaemons())
+	}
+}
+
+func TestDaemonCancelRestoresQuiescence(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.Daemon(time.Hour, func() {})
+	if e.PendingDaemons() != 1 {
+		t.Fatalf("PendingDaemons = %d, want 1", e.PendingDaemons())
+	}
+	if !tm.Cancel() {
+		t.Fatal("Cancel returned false for pending daemon")
+	}
+	if e.Pending() != 0 || e.PendingDaemons() != 0 {
+		t.Fatalf("Pending=%d PendingDaemons=%d after cancel, want 0,0", e.Pending(), e.PendingDaemons())
+	}
+	if _, err := e.Snapshot(); err != nil {
+		t.Fatalf("Snapshot after daemon cancel: %v", err)
+	}
+}
+
+func TestSnapshotRefusesPendingDaemons(t *testing.T) {
+	e := NewEngine(1)
+	e.Daemon(time.Hour, func() {})
+	if _, err := e.Snapshot(); err == nil {
+		t.Fatal("Snapshot succeeded with a pending daemon event; want error")
+	}
+}

@@ -40,6 +40,10 @@ go test -race ./internal/scenario/ -run 'TestForkedRunMatchesFreshRun|TestChaosR
 echo "== trace-determinism smoke (same-seed traces byte-identical, incl. across a fork)"
 go test ./internal/scenario/ -run 'TestTraceDeterminism|TestTraceSurvivesFork|TestChaosTraceDeterminism'
 
+echo "== failure-path smoke under -race (MTBF campaign, lost faults, bounded recovery)"
+go test -race ./internal/scenario/ -run 'TestMTBFCampaignSerialParallelIdentical|TestLostFaultFailsRun|TestFailurePathByteDeterminism'
+go test -race ./internal/core/ -run 'TestDoubleFailureDuringRecovery|TestDeprovisionMidRebootAbandonsRecovery|TestRecoveryDeadline|TestSupervisedMockupConverges|TestSpeakerVMRecoveryReinjectsRoutes'
+
 echo "== docs gate (every package carries a doc comment linking the design docs)"
 go run ./cmd/doccheck
 
