@@ -1,7 +1,8 @@
-// benchjson merges `go test -bench` text (stdin) and `crystalbench -json`
-// output (-crystal) into one machine-readable BENCH_<date>.json document,
-// so benchmark history can be diffed across commits without scraping the
-// two formats separately. scripts/bench.sh is the intended driver.
+// benchjson merges `go test -bench` text (stdin), `crystalbench -json`
+// output (-crystal) and `crystalload` output (-loadtest) into one
+// machine-readable BENCH_<date>.json document, so benchmark history can be
+// diffed across commits without scraping the formats separately.
+// scripts/bench.sh and scripts/loadtest.sh are the intended drivers.
 package main
 
 import (
@@ -31,13 +32,29 @@ type document struct {
 	GoVersion    string          `json:"go"`
 	CPUs         int             `json:"cpus"`
 	CrystalBench json.RawMessage `json:"crystalbench,omitempty"`
-	Benchmarks   []microBench    `json:"benchmarks"`
+	// LoadTest embeds crystalload's output: crystald latency quantiles and
+	// warm-pool hit rate under concurrent rehearsal requests.
+	LoadTest   json.RawMessage `json:"loadtest,omitempty"`
+	Benchmarks []microBench    `json:"benchmarks"`
+}
+
+// embedJSON validates and returns a file's raw JSON for embedding.
+func embedJSON(path string) json.RawMessage {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !json.Valid(raw) {
+		log.Fatalf("%s: not valid JSON", path)
+	}
+	return json.RawMessage(raw)
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	crystal := flag.String("crystal", "", "path to crystalbench -json output to embed")
+	loadtest := flag.String("loadtest", "", "path to crystalload output to embed")
 	flag.Parse()
 
 	doc := document{
@@ -46,14 +63,10 @@ func main() {
 		CPUs:      runtime.NumCPU(),
 	}
 	if *crystal != "" {
-		raw, err := os.ReadFile(*crystal)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !json.Valid(raw) {
-			log.Fatalf("%s: not valid JSON", *crystal)
-		}
-		doc.CrystalBench = json.RawMessage(raw)
+		doc.CrystalBench = embedJSON(*crystal)
+	}
+	if *loadtest != "" {
+		doc.LoadTest = embedJSON(*loadtest)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)

@@ -19,6 +19,9 @@
 //	                          inject a probe; write a Perfetto-loadable trace
 //	run-scenario <file.json>  execute a rehearsal spec, print its JSON report
 //	chaos [file.json]         run a chaos campaign from a base spec (default: sdc)
+//	rehearse -server ADDR <file.json>
+//	                          submit a spec to a crystald daemon; the response
+//	                          is byte-identical to run-scenario's report
 //
 // run-scenario and chaos build their fabric from the spec file; the
 // topology flags (-dc, -ldcscale, -must, -vms) apply to the other commands.
@@ -31,9 +34,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"runtime/pprof"
 	"strings"
@@ -58,6 +65,10 @@ Commands:
                             file that opens in Perfetto (ui.perfetto.dev)
   run-scenario <file.json>  execute a rehearsal spec, print its JSON report
                             (exits 1 if the scenario fails)
+  rehearse -server ADDR <file.json>
+                            submit a rehearsal spec to a running crystald
+                            daemon (cmd/crystald); prints the same report
+                            bytes run-scenario would, exits 1 on failure
   chaos [file.json]         expand a base spec into -n seeded fault sequences
                             and run them on -workers cores (default base: the
                             sdc fabric with the no-blackhole invariant)
@@ -88,6 +99,10 @@ var subUsage = map[string]string{
 	"run-scenario": `crystalctl [flags] run-scenario <file.json>
   Execute a rehearsal spec and print its JSON report. Exits 1 if the
   scenario fails.`,
+	"rehearse": `crystalctl rehearse -server ADDR [-tenant NAME] <file.json>
+  Submit a rehearsal spec to a running crystald daemon and print the
+  returned JSON report (byte-identical to run-scenario's). Exits 1 if
+  the scenario fails or the daemon refuses the request.`,
 }
 
 // need enforces a subcommand's argument shape, printing that command's own
@@ -148,6 +163,19 @@ func main() {
 			seedSet = true
 		}
 	})
+
+	// The rehearse subcommand is a pure HTTP client of crystald: no local
+	// emulation, so it takes only its own flags and exits here.
+	if cmd == "rehearse" {
+		fs := flag.NewFlagSet("rehearse", flag.ExitOnError)
+		server := fs.String("server", "", "crystald address (host:port or http:// URL)")
+		tenant := fs.String("tenant", "", "tenant identity for the daemon's concurrency quotas")
+		fs.Usage = func() { need("rehearse", false) }
+		fs.Parse(args)
+		args = fs.Args()
+		need("rehearse", len(args) == 1 && *server != "")
+		os.Exit(rehearseRemote(*server, *tenant, args[0]))
+	}
 
 	// The trace subcommand takes its own flag set: crystalctl trace -out
 	// mockup.trace [<device> <ip>].
@@ -360,6 +388,63 @@ func main() {
 	o.Eng.Run(0)
 	o.Destroy(prep)
 	exportTrace(rec, *traceOut, *traceJSON, *obsSummary)
+}
+
+// rehearseRemote submits a spec file to a crystald daemon's /v1/rehearse
+// and relays the response: report bytes to stdout (they are the exact
+// bytes run-scenario would print), summary to stderr. Returns the process
+// exit code.
+func rehearseRemote(server, tenant, specPath string) int {
+	// Validate locally first so a typo fails without a round trip.
+	if _, err := crystalnet.LoadScenario(specPath); err != nil {
+		log.Print(err)
+		return 1
+	}
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	base := server
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/rehearse", bytes.NewReader(data))
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Crystalnet-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Printf("rehearse: %v", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Printf("rehearse: read response: %v", err)
+		return 1
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("rehearse: %s returned %s: %s", server, resp.Status, strings.TrimSpace(string(body)))
+		return 1
+	}
+	os.Stdout.Write(body)
+	var rep crystalnet.ScenarioReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		log.Printf("rehearse: parse report: %v", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "%s (request %s, pool %s)\n",
+		rep.Summary(), resp.Header.Get("X-Crystalnet-Request"), resp.Header.Get("X-Crystalnet-Pool"))
+	if !rep.Passed {
+		return 1
+	}
+	return 0
 }
 
 // exportTrace writes one run's trace in the requested formats. A nil

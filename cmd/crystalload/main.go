@@ -1,0 +1,201 @@
+// Command crystalload load-tests a running crystald daemon: it measures
+// one cold rehearsal (empty pool, pays the convergence), then fires N
+// concurrent requests at the warm pool and reports latency quantiles,
+// the pool hit rate and the warm-vs-cold speedup as JSON on stdout.
+//
+//	crystalload -server 127.0.0.1:9310 -spec scenarios/rehearse_smoke.json -n 16 -c 4
+//
+// scripts/loadtest.sh drives it end to end (boot crystald, load, drain)
+// and merges the result into BENCH_<date>.json via benchjson -loadtest.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// result is the JSON document crystalload prints.
+type result struct {
+	Server      string `json:"server"`
+	Spec        string `json:"spec"`
+	Requests    int    `json:"requests"`
+	Concurrency int    `json:"concurrency"`
+	// ColdMS is the first request's latency against an empty pool — it
+	// pays the full convergence.
+	ColdMS float64 `json:"cold_ms"`
+	// WarmMS is one serial request after the concurrent phase: the pool's
+	// per-request latency free of client-side contention.
+	WarmMS float64 `json:"warm_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	// Hits/Misses/Bypasses count the X-Crystalnet-Pool header values over
+	// the warm phase.
+	Hits     int     `json:"hits"`
+	Misses   int     `json:"misses"`
+	Bypasses int     `json:"bypasses"`
+	HitRate  float64 `json:"hit_rate"`
+	// SpeedupP50 is ColdMS / P50MS under concurrency; SpeedupWarm is
+	// ColdMS / WarmMS — what the warm pool buys a single request.
+	SpeedupP50  float64 `json:"speedup_p50"`
+	SpeedupWarm float64 `json:"speedup_warm"`
+	Failures    int     `json:"failures"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crystalload: ")
+	server := flag.String("server", "127.0.0.1:9310", "crystald address (host:port or http:// URL)")
+	specPath := flag.String("spec", "scenarios/loadtest_fabric.json", "rehearsal spec to fire")
+	n := flag.Int("n", 16, "warm-phase request count")
+	c := flag.Int("c", 4, "concurrent in-flight requests")
+	tenant := flag.String("tenant", "loadtest", "tenant header value")
+	flag.Parse()
+
+	spec, err := os.ReadFile(*specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := *server
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	url := base + "/v1/rehearse"
+
+	fire := func() (time.Duration, string, error) {
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(spec))
+		if err != nil {
+			return 0, "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Crystalnet-Tenant", *tenant)
+		start := time.Now()
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, "", err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		elapsed := time.Since(start)
+		if rerr != nil {
+			return elapsed, "", rerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return elapsed, "", fmt.Errorf("status %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		return elapsed, resp.Header.Get("X-Crystalnet-Pool"), nil
+	}
+
+	res := result{Server: *server, Spec: *specPath, Requests: *n, Concurrency: *c}
+
+	// Cold phase: one request against the empty pool pays the convergence.
+	cold, mode, err := fire()
+	if err != nil {
+		log.Fatalf("cold request: %v", err)
+	}
+	if mode == "hit" {
+		log.Print("warning: cold request hit a warm pool (daemon not fresh?); cold_ms underestimates convergence")
+	}
+	res.ColdMS = float64(cold) / float64(time.Millisecond)
+
+	// Warm phase: N requests, C at a time.
+	type sample struct {
+		d    time.Duration
+		mode string
+		err  error
+	}
+	samples := make([]sample, *n)
+	sem := make(chan struct{}, *c)
+	var wg sync.WaitGroup
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			d, m, err := fire()
+			samples[i] = sample{d, m, err}
+		}(i)
+	}
+	wg.Wait()
+
+	var durs []float64
+	var sum float64
+	for i, s := range samples {
+		if s.err != nil {
+			log.Printf("request %d: %v", i, s.err)
+			res.Failures++
+			continue
+		}
+		ms := float64(s.d) / float64(time.Millisecond)
+		durs = append(durs, ms)
+		sum += ms
+		switch s.mode {
+		case "hit":
+			res.Hits++
+		case "miss":
+			res.Misses++
+		default:
+			res.Bypasses++
+		}
+	}
+	if len(durs) > 0 {
+		sort.Float64s(durs)
+		res.P50MS = quantile(durs, 0.50)
+		res.P90MS = quantile(durs, 0.90)
+		res.P99MS = quantile(durs, 0.99)
+		res.MeanMS = sum / float64(len(durs))
+		res.HitRate = float64(res.Hits) / float64(len(durs))
+		if res.P50MS > 0 {
+			res.SpeedupP50 = res.ColdMS / res.P50MS
+		}
+	}
+
+	// Serial warm probe: one request with no competing clients.
+	warm, _, err := fire()
+	if err != nil {
+		log.Fatalf("warm probe: %v", err)
+	}
+	res.WarmMS = float64(warm) / float64(time.Millisecond)
+	if res.WarmMS > 0 {
+		res.SpeedupWarm = res.ColdMS / res.WarmMS
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"crystalload: %d requests (c=%d): cold %.0fms, warm %.0fms, p50 %.0fms, p99 %.0fms, hit rate %.0f%%, warm speedup %.1fx, %d failures\n",
+		*n, *c, res.ColdMS, res.WarmMS, res.P50MS, res.P99MS, 100*res.HitRate, res.SpeedupWarm, res.Failures)
+	if res.Failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// quantile reads the q-th quantile from sorted samples (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

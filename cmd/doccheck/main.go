@@ -2,7 +2,9 @@
 // package under internal/ (plus the facade and cmd/) and fails if any
 // package lacks a package-level doc comment, or if an internal package's
 // doc comment never points the reader at the design documentation
-// (DESIGN.md or docs/). scripts/check.sh runs it, so an undocumented
+// (DESIGN.md or docs/). It also cross-checks docs/API.md against the
+// daemon's route table (internal/serve.Routes) so an endpoint cannot
+// ship undocumented. scripts/check.sh runs it, so an undocumented
 // package fails verification the same way a broken test does.
 //
 // Usage:
@@ -21,6 +23,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"crystalnet/internal/serve"
 )
 
 func main() {
@@ -59,6 +63,8 @@ func main() {
 		}
 	}
 
+	problems = append(problems, apiDocProblems(root)...)
+
 	if len(problems) > 0 {
 		sort.Strings(problems)
 		for _, p := range problems {
@@ -66,7 +72,26 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("doccheck: %d packages documented\n", len(dirs))
+	fmt.Printf("doccheck: %d packages documented, %d API routes covered\n",
+		len(dirs), len(serve.Routes))
+}
+
+// apiDocProblems verifies that docs/API.md exists and mentions every
+// route crystald serves (internal/serve.Routes is the source of truth).
+func apiDocProblems(root string) []string {
+	path := filepath.Join(root, "docs", "API.md")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("docs/API.md: %v", err)}
+	}
+	var problems []string
+	for _, route := range serve.Routes {
+		if !strings.Contains(string(raw), route) {
+			problems = append(problems,
+				fmt.Sprintf("docs/API.md: route %s is served but undocumented", route))
+		}
+	}
+	return problems
 }
 
 // packageDirs lists every directory under root that contains non-test Go

@@ -42,6 +42,7 @@ import (
 	"crystalnet/internal/obs"
 	"crystalnet/internal/rib"
 	"crystalnet/internal/scenario"
+	"crystalnet/internal/serve"
 	"crystalnet/internal/speaker"
 	"crystalnet/internal/telemetry"
 	"crystalnet/internal/topo"
@@ -260,6 +261,35 @@ func ChaosCampaign(base *Scenario, cfg CampaignConfig) (*CampaignReport, error) 
 	return scenario.Chaos(base, cfg)
 }
 
+// CheckScenarioForkable reports whether sp can run against a forked
+// converged baseline (no MTBF faults, no attach-device steps) — the test
+// the warm pool and chaos Reuse apply before forking.
+func CheckScenarioForkable(sp *Scenario, opts ScenarioOptions) error {
+	return scenario.CheckForkable(sp, opts)
+}
+
+// ErrCanceled is returned (wrapped) by scenario runs whose
+// ScenarioOptions.Cancel channel fired; the abandoned emulation has been
+// torn down deterministically.
+var ErrCanceled = core.ErrCanceled
+
+// Rehearsal service (internal/serve, docs/API.md): crystald's HTTP layer.
+// A RehearsalServer keeps converged base fabrics warm in a checkpoint
+// pool and serves rehearsal/chaos requests whose response bytes are
+// identical to the batch crystalctl commands.
+type (
+	// RehearsalServer serves /v1/rehearse, /v1/chaos, /v1/status,
+	// /v1/pool/invalidate, /healthz and /metrics.
+	RehearsalServer = serve.Server
+	// ServeConfig tunes pool capacity, concurrency quotas and metrics.
+	ServeConfig = serve.Config
+	// WarmPool is the checkpoint pool behind a RehearsalServer.
+	WarmPool = serve.Pool
+)
+
+// NewRehearsalServer builds the crystald HTTP server and its warm pool.
+func NewRehearsalServer(cfg ServeConfig) *RehearsalServer { return serve.NewServer(cfg) }
+
 // Monitor plane: the deterministic tracer and metrics registry
 // (internal/obs, docs/OBSERVABILITY.md). Pass a Recorder via Options.Rec or
 // ScenarioOptions.Rec to trace a run; nil keeps tracing disabled at zero
@@ -271,10 +301,17 @@ type (
 	// TracePart names one recorder in a multi-run Chrome trace export
 	// (one trace-viewer process per part).
 	TracePart = obs.Part
+	// LiveMetrics is the wall-clock, concurrency-safe metrics registry the
+	// rehearsal service exposes at /metrics (sibling of the deterministic
+	// sim-time Recorder).
+	LiveMetrics = obs.Live
 )
 
 // NewRecorder returns an empty trace recorder.
 func NewRecorder() *Recorder { return obs.New() }
+
+// NewLiveMetrics returns an empty wall-clock metrics registry.
+func NewLiveMetrics() *LiveMetrics { return obs.NewLive() }
 
 // WriteChromeTrace renders one or more recorders as a single Chrome
 // trace_event file — open it in Perfetto (ui.perfetto.dev) or

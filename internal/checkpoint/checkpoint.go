@@ -34,6 +34,8 @@
 package checkpoint
 
 import (
+	"sync/atomic"
+
 	"crystalnet/internal/sim"
 )
 
@@ -54,7 +56,20 @@ type Snapshot struct {
 	// leaf packages that clone themselves into a fork need not import the
 	// orchestration layer; core.Orchestrator.Fork asserts it back.
 	Origin any
+
+	// invalid is set by Invalidate; Fork refuses invalidated snapshots.
+	invalid atomic.Bool
 }
+
+// Invalidate marks the snapshot permanently unforkable. A warm-pool owner
+// calls it when an entry is evicted and its last borrower releases: any
+// stale handle that tries to fork afterwards gets an error instead of
+// silently reviving state the pool has given up. Safe to call from any
+// goroutine, and idempotent.
+func (s *Snapshot) Invalidate() { s.invalid.Store(true) }
+
+// Invalidated reports whether Invalidate has been called.
+func (s *Snapshot) Invalidated() bool { return s.invalid.Load() }
 
 // CloneMap returns a shallow copy of m, preserving nil.
 //

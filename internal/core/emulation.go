@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -81,6 +82,11 @@ type Emulation struct {
 
 	vmsPending    int
 	buildsPending int
+
+	// cancel, when non-nil, aborts convergence drives between event chunks
+	// (SetCancel). The serving path wires a request context's Done channel
+	// here so an abandoned rehearsal stops burning CPU mid-convergence.
+	cancel <-chan struct{}
 }
 
 // Mockup executes the paper's Mockup API on a preparation: PhyNet build,
@@ -246,17 +252,85 @@ func (em *Emulation) allNames() []string {
 	return names
 }
 
+// ErrCanceled is returned by a convergence drive whose cancel channel
+// (SetCancel) fired. Callers are expected to Teardown the emulation.
+var ErrCanceled = errors.New("core: emulation canceled")
+
+// cancelCheckEvents is how many events a cancelable convergence drive
+// fires between cancel-channel polls: coarse enough to keep the poll off
+// the hot loop, fine enough that an abandoned request stops within
+// milliseconds of wall time.
+const cancelCheckEvents = 1 << 15
+
+// SetCancel arms cancellation for this emulation's convergence drives:
+// once ch fires, RunUntilConverged returns ErrCanceled at the next chunk
+// boundary instead of driving to quiescence. The channel does not cross a
+// Checkpoint/Fork — each fork arms its own. With a cancel channel armed
+// and a recorder attached, a drive records one engine/run span per chunk
+// rather than one per drive, so cancelable runs are not trace-byte-
+// comparable to batch runs (reports are unaffected: event order, clock
+// and RNG draws are identical).
+func (em *Emulation) SetCancel(ch <-chan struct{}) { em.cancel = ch }
+
 // RunUntilConverged drives the engine until the event queue drains (the
 // emulation is stable) and returns the §8.1 latency metrics.
 func (em *Emulation) RunUntilConverged(maxEvents uint64) (Metrics, error) {
 	if maxEvents == 0 {
 		maxEvents = 500_000_000
 	}
-	if _, err := em.orch.Eng.Run(maxEvents); err != nil {
+	if em.cancel == nil {
+		if _, err := em.orch.Eng.Run(maxEvents); err != nil {
+			return Metrics{}, err
+		}
+	} else if err := em.runCancelable(maxEvents); err != nil {
 		return Metrics{}, err
 	}
 	em.tracePhases()
 	return em.Metrics(), nil
+}
+
+// runCancelable drives the engine in cancelCheckEvents chunks, polling the
+// cancel channel between them. Chunking changes nothing observable in the
+// emulation: events fire in the same order, the clock and RNG streams are
+// untouched, and quiescence is detected identically.
+func (em *Emulation) runCancelable(maxEvents uint64) error {
+	var fired uint64
+	for {
+		select {
+		case <-em.cancel:
+			return ErrCanceled
+		default:
+		}
+		chunk := uint64(cancelCheckEvents)
+		if rem := maxEvents - fired; chunk > rem {
+			chunk = rem
+		}
+		n, err := em.orch.Eng.Run(chunk)
+		fired += n
+		if err == nil {
+			return nil // quiescent
+		}
+		if fired >= maxEvents {
+			return fmt.Errorf("sim: event cap %d reached at t=%s (possible livelock)", maxEvents, em.orch.Eng.Now())
+		}
+	}
+}
+
+// Teardown aborts an emulation deterministically, whatever state it is in:
+// every pending event — in-flight protocol work, boot callbacks, daemon
+// timers — is dropped wholesale, the firmware is stopped and the VMs reset
+// via Clear, and the engine drains the teardown events so nothing remains
+// scheduled. It is the cleanup path for a rehearsal whose request was
+// canceled mid-convergence: after Teardown the emulation holds no live
+// timers and can be garbage-collected without leaking simulated daemons.
+// Idempotent; a cleared emulation tears down to a no-op.
+func (em *Emulation) Teardown() {
+	if em.cleared {
+		return
+	}
+	em.orch.Eng.CancelAll()
+	em.Clear(nil)
+	em.orch.Eng.Run(0)
 }
 
 // tracePhases records the Mockup phase spans and the per-device

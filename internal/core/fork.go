@@ -68,6 +68,9 @@ func (o *Orchestrator) Fork(snap *checkpoint.Snapshot) (*Emulation, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("core: nil snapshot")
 	}
+	if snap.Invalidated() {
+		return nil, fmt.Errorf("core: snapshot has been invalidated (its checkpoint was evicted or released)")
+	}
 	parent, ok := snap.Origin.(*Emulation)
 	if !ok {
 		return nil, fmt.Errorf("core: snapshot origin is not a core emulation")

@@ -48,6 +48,10 @@ type CampaignConfig struct {
 	// RecoveryDeadline bounds each recovery episode in every run
 	// (Options.RecoveryDeadline).
 	RecoveryDeadline time.Duration
+	// Cancel, when non-nil, aborts the campaign's runs once it fires
+	// (Options.Cancel); already-finished reports are unaffected, in-flight
+	// runs tear down and report core.ErrCanceled.
+	Cancel <-chan struct{}
 }
 
 // runOptions builds one run's Options from the campaign knobs.
@@ -55,6 +59,7 @@ func (cfg *CampaignConfig) runOptions() Options {
 	opts := Options{
 		MaxEvents: cfg.MaxEvents,
 		MTBF:      cfg.MTBF, Retry: cfg.Retry, RecoveryDeadline: cfg.RecoveryDeadline,
+		Cancel: cfg.Cancel,
 	}
 	if cfg.Trace {
 		opts.Rec = obs.New()
@@ -122,13 +127,8 @@ func Chaos(base *Spec, cfg CampaignConfig) (*CampaignReport, error) {
 
 	var traces []*tracedReport
 	if cfg.Reuse {
-		if cfg.MTBF > 0 {
-			return nil, fmt.Errorf("scenario: chaos Reuse is incompatible with MTBF faults (background failure timers cannot cross the shared checkpoint)")
-		}
-		for i := range base.Steps {
-			if base.Steps[i].Op == OpAttachDevice {
-				return nil, fmt.Errorf("scenario: chaos Reuse is incompatible with attach-device steps (forks share the topology)")
-			}
+		if err := CheckForkable(base, cfg.runOptions()); err != nil {
+			return nil, fmt.Errorf("scenario: chaos Reuse: %w", err)
 		}
 		// Converge the base fabric exactly once, then fork it per run. The
 		// emulation seed is the campaign seed for every run (they share one

@@ -85,14 +85,15 @@ func (cv *Converged) Run(sp *Spec, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("scenario %s: seed %d does not match converged baseline seed %d",
 			sp.Name, seed, cv.seed)
 	}
-	for i := range sp.Steps {
-		if sp.Steps[i].Op == OpAttachDevice {
-			return nil, fmt.Errorf("scenario %s: attach-device cannot run on a forked emulation (mutates the shared topology)", sp.Name)
-		}
+	if err := CheckForkable(sp, opts); err != nil {
+		return nil, err
 	}
 	em, err := cv.orch.Fork(cv.snap)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Cancel != nil {
+		em.SetCancel(opts.Cancel)
 	}
 	if opts.Rec != nil {
 		// Hand the fork's recorder (a deep copy of everything the shared
@@ -124,7 +125,35 @@ func (cv *Converged) Run(sp *Spec, opts Options) (*Report, error) {
 	step0.Diffs = checkpoint.CloneSlice(cv.step0.Diffs)
 	step0.Invariants = checkpoint.CloneSlice(cv.step0.Invariants)
 	r.report.Steps = append(r.report.Steps, step0)
-	return r.drive(), nil
+	return r.drive()
+}
+
+// Seed returns the resolved seed the baseline converged with. Specs run
+// against this Converged must resolve to the same value.
+func (cv *Converged) Seed() int64 { return cv.seed }
+
+// Invalidate permanently retires the baseline: subsequent Run calls fail
+// instead of forking. A warm pool calls it when it evicts the entry, so
+// stale handles cannot revive state the pool has given up on. In-flight
+// forks already materialized are unaffected. Safe from any goroutine.
+func (cv *Converged) Invalidate() { cv.snap.Invalidate() }
+
+// CheckForkable reports whether sp can run against a forked baseline
+// instead of a fresh convergence. Two things disqualify it: armed MTBF
+// failures (daemon timers cannot cross a checkpoint — Converge would have
+// refused) and attach-device steps (they grow the topology, which forks
+// share copy-on-write with the parent). Both the chaos Reuse path and the
+// rehearsal service use this to decide fork-vs-fresh up front.
+func CheckForkable(sp *Spec, opts Options) error {
+	if opts.MTBF > 0 {
+		return fmt.Errorf("scenario %s: MTBF failure injection cannot run on a forked emulation (daemon timers cannot cross a checkpoint)", sp.Name)
+	}
+	for i := range sp.Steps {
+		if sp.Steps[i].Op == OpAttachDevice {
+			return fmt.Errorf("scenario %s: attach-device cannot run on a forked emulation (mutates the shared topology)", sp.Name)
+		}
+	}
+	return nil
 }
 
 // resolveSeed applies the same seed-resolution rules as Run: override,
@@ -139,3 +168,8 @@ func resolveSeed(sp *Spec, opts Options) int64 {
 	}
 	return seed
 }
+
+// EffectiveSeed exposes the resolved (override → spec → default) seed for
+// a spec/options pair without running anything; the serving layer keys its
+// warm pool on it.
+func EffectiveSeed(sp *Spec, opts Options) int64 { return resolveSeed(sp, opts) }

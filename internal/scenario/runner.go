@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -61,6 +62,14 @@ type Options struct {
 	// (core.Options.RecoveryDeadline); zero means unbounded. Episodes
 	// that exceed it are abandoned into the report's Degraded list.
 	RecoveryDeadline time.Duration
+	// Cancel, when non-nil, aborts the run once the channel fires: between
+	// steps and — via core.Emulation.SetCancel — mid-convergence. The
+	// abandoned emulation is torn down deterministically (events dropped,
+	// firmware stopped, VMs cleared) before the run returns
+	// core.ErrCanceled. The serving path (internal/serve) wires a request
+	// context's Done channel here; nil leaves runs uncancelable and
+	// byte-identical to before.
+	Cancel <-chan struct{}
 }
 
 // runner executes one spec against one emulation.
@@ -101,14 +110,39 @@ func Run(sp *Spec, opts Options) (*Report, error) {
 	if err := r.mockup(seed); err != nil {
 		return nil, err
 	}
-	return r.drive(), nil
+	return r.drive()
+}
+
+// canceled reports whether the run's cancel channel has fired.
+func (r *runner) canceled() bool {
+	if r.opts.Cancel == nil {
+		return false
+	}
+	select {
+	case <-r.opts.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// abort tears the abandoned emulation down deterministically and returns
+// the cancellation error the caller propagates.
+func (r *runner) abort() error {
+	r.em.Teardown()
+	return fmt.Errorf("scenario %s: %w", r.sp.Name, core.ErrCanceled)
 }
 
 // drive executes every spec step against the runner's emulation and seals
-// the report — the shared back half of Run and Converged.Run.
-func (r *runner) drive() *Report {
+// the report — the shared back half of Run and Converged.Run. A canceled
+// run tears the emulation down and returns core.ErrCanceled instead of a
+// report.
+func (r *runner) drive() (*Report, error) {
 	rec := r.orch.Eng.Recorder()
 	for i := range r.sp.Steps {
+		if r.canceled() {
+			return nil, r.abort()
+		}
 		st := &r.sp.Steps[i]
 		res := StepResult{Index: i + 1, Op: st.Op, Label: st.Label}
 		start := r.orch.Eng.Now()
@@ -128,13 +162,16 @@ func (r *runner) drive() *Report {
 		}
 		r.report.Steps = append(r.report.Steps, res)
 	}
+	if r.canceled() {
+		return nil, r.abort()
+	}
 
 	r.report.VirtualDuration = r.orch.Eng.Now().Sub(r.em.MockupStart).String()
 	r.report.Alerts = append([]string(nil), r.em.Alerts...)
 	r.report.Degraded = append([]string(nil), r.em.Degraded()...)
 	r.report.PendingFaults = r.em.FaultsPending()
 	r.report.Passed = r.passed()
-	return r.report
+	return r.report, nil
 }
 
 // passed folds every step and invariant outcome. A fault still pending at
@@ -226,10 +263,16 @@ func (r *runner) mockup(seed int64) error {
 		return err
 	}
 	r.em = em
+	if r.opts.Cancel != nil {
+		em.SetCancel(r.opts.Cancel)
+	}
 
 	res := StepResult{Index: 0, Op: "mockup", Start: r.orch.Eng.Now().String(), Pass: true}
 	metrics, err := em.RunUntilConverged(r.maxEvents(0))
 	if err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			return r.abort()
+		}
 		return fmt.Errorf("scenario %s: mockup did not converge: %w", r.sp.Name, err)
 	}
 	scale := prep.Plan.Scale()

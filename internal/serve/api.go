@@ -1,0 +1,96 @@
+package serve
+
+// Wire types for crystald's HTTP/JSON API. Rehearsal responses are NOT
+// defined here on purpose: /v1/rehearse returns the exact bytes of
+// scenario.Report.JSON() and /v1/chaos the exact bytes of
+// scenario.CampaignReport.JSON(), so a served rehearsal is
+// indistinguishable from a batch `crystalctl run-scenario` — the
+// byte-identity contract docs/API.md documents and the tests enforce.
+
+// Header names the daemon reads and writes.
+const (
+	// TenantHeader carries the caller's tenant identity for per-tenant
+	// concurrency quotas. Absent means the "default" tenant.
+	TenantHeader = "X-Crystalnet-Tenant"
+	// RequestHeader returns the server-assigned request/session ID.
+	RequestHeader = "X-Crystalnet-Request"
+	// PoolHeader reports how the warm pool served a rehearsal: "hit"
+	// (forked a pooled baseline), "miss" (converged a new baseline, now
+	// pooled), or "bypass" (spec not forkable — ran from scratch).
+	PoolHeader = "X-Crystalnet-Pool"
+)
+
+// Routes lists every path the server registers. cmd/doccheck cross-checks
+// docs/API.md against it so the API reference cannot silently rot.
+var Routes = []string{
+	"/v1/rehearse",
+	"/v1/chaos",
+	"/v1/status",
+	"/v1/pool/invalidate",
+	"/healthz",
+	"/metrics",
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// StatusResponse is the body of GET /v1/status.
+type StatusResponse struct {
+	// Draining is true once graceful shutdown has begun: new work is
+	// refused (503) while in-flight sessions run to completion.
+	Draining bool `json:"draining"`
+	// InFlight counts sessions currently executing.
+	InFlight int `json:"inFlight"`
+	// Served tallies completed requests by kind ("rehearse", "chaos").
+	Served map[string]uint64 `json:"served"`
+	// Sessions lists the in-flight sessions, oldest first.
+	Sessions []SessionInfo `json:"sessions"`
+	// Pool describes the warm checkpoint pool.
+	Pool PoolStatus `json:"pool"`
+}
+
+// SessionInfo describes one in-flight request.
+type SessionInfo struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	Kind     string `json:"kind"`
+	Scenario string `json:"scenario"`
+	// AgeMS is wall-clock milliseconds since the session was admitted.
+	AgeMS int64 `json:"ageMs"`
+}
+
+// PoolStatus describes the warm pool for /v1/status.
+type PoolStatus struct {
+	// Capacity is the configured maximum number of warm baselines.
+	Capacity int `json:"capacity"`
+	// Rewarm reports whether invalidated entries re-converge in the
+	// background.
+	Rewarm    bool              `json:"rewarm"`
+	Hits      uint64            `json:"hits"`
+	Misses    uint64            `json:"misses"`
+	Evictions uint64            `json:"evictions"`
+	Entries   []PoolEntryStatus `json:"entries"`
+}
+
+// PoolEntryStatus describes one pooled baseline.
+type PoolEntryStatus struct {
+	// Fabric names the entry's topology (the dc preset or custom Clos
+	// name) — the human-readable face of the pool key.
+	Fabric string `json:"fabric"`
+	Seed   int64  `json:"seed"`
+	// State is "warming" while the baseline converges, "ready" after.
+	State string `json:"state"`
+	// Refs counts borrowers currently forking from the entry.
+	Refs int `json:"refs"`
+}
+
+// InvalidateResponse is the body of POST /v1/pool/invalidate.
+type InvalidateResponse struct {
+	// Invalidated counts the entries retired.
+	Invalidated int `json:"invalidated"`
+	// Rewarming reports whether retired entries are re-converging in the
+	// background.
+	Rewarming bool `json:"rewarming"`
+}

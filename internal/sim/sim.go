@@ -356,6 +356,21 @@ func (e *Engine) Jitter(d, spread time.Duration) time.Duration {
 // in-flight event returns. Pending events remain queued.
 func (e *Engine) Halt() { e.halted = true }
 
+// CancelAll drops every pending event — daemon timers included — without
+// firing it. It is the teardown primitive behind a canceled emulation: an
+// abandoned rehearsal discards its in-flight protocol work wholesale, then
+// schedules (and drains) only the Clear sequence. Timer handles to dropped
+// events become inert, exactly as after Cancel.
+func (e *Engine) CancelAll() {
+	for len(e.queue) > 0 {
+		ev := e.queue.popMin()
+		if ev.daemon {
+			e.daemons--
+		}
+		e.recycle(ev)
+	}
+}
+
 // Step executes the single next event, advancing the clock to its time.
 // It returns false when the queue is empty.
 func (e *Engine) Step() bool {

@@ -26,7 +26,8 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency-touching packages)"
-go test -race ./internal/parallel/ ./internal/sim/ ./internal/experiments/ ./internal/checkpoint/
+go test -race ./internal/parallel/ ./internal/sim/ ./internal/experiments/ ./internal/checkpoint/ \
+    ./internal/obs/ ./internal/serve/
 
 echo "== concurrent-fork smoke under -race"
 go test -race ./internal/core/ -run 'TestCheckpoint|TestFork|TestClearAfterFork|TestConcurrentForks'
@@ -43,6 +44,44 @@ go test ./internal/scenario/ -run 'TestTraceDeterminism|TestTraceSurvivesFork|Te
 echo "== failure-path smoke under -race (MTBF campaign, lost faults, bounded recovery)"
 go test -race ./internal/scenario/ -run 'TestMTBFCampaignSerialParallelIdentical|TestLostFaultFailsRun|TestFailurePathByteDeterminism'
 go test -race ./internal/core/ -run 'TestDoubleFailureDuringRecovery|TestDeprovisionMidRebootAbandonsRecovery|TestRecoveryDeadline|TestSupervisedMockupConverges|TestSpeakerVMRecoveryReinjectsRoutes'
+
+echo "== crystald smoke (boot, rehearse over HTTP twice, drain on SIGTERM)"
+tmp=$(mktemp -d)
+daemon=
+cleanup() {
+    if [ -n "$daemon" ] && kill -0 "$daemon" 2>/dev/null; then
+        kill "$daemon" 2>/dev/null || true
+        wait "$daemon" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+go build -o "$tmp/crystald" ./cmd/crystald
+go build -o "$tmp/crystalctl" ./cmd/crystalctl
+"$tmp/crystald" -addr 127.0.0.1:0 -portfile "$tmp/port" 2>"$tmp/crystald.log" &
+daemon=$!
+i=0
+while [ ! -s "$tmp/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ] || ! kill -0 "$daemon" 2>/dev/null; then
+        echo "crystald failed to boot; log:" >&2
+        cat "$tmp/crystald.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/port")
+# First request converges the base fabric (pool miss), second forks it (hit);
+# both must pass the scenario's invariants.
+"$tmp/crystalctl" rehearse -server "$addr" scenarios/rehearse_smoke.json >/dev/null
+"$tmp/crystalctl" rehearse -server "$addr" scenarios/rehearse_smoke.json >/dev/null
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+    echo "crystald did not drain cleanly; log:" >&2
+    cat "$tmp/crystald.log" >&2
+    exit 1
+fi
+daemon=
 
 echo "== docs gate (every package carries a doc comment linking the design docs)"
 go run ./cmd/doccheck

@@ -1,0 +1,68 @@
+#!/bin/sh
+# loadtest.sh — end-to-end crystald load test: boots the daemon on a random
+# port, fires LOAD_N concurrent rehearsals at the warm pool via crystalload,
+# drains the daemon with SIGTERM, and merges the latency/hit-rate numbers
+# into BENCH_<date>.json (gitignored) via cmd/benchjson -loadtest.
+#
+#   scripts/loadtest.sh
+#   LOAD_N=64 LOAD_C=8 LOAD_SPEC=scenarios/pod_upgrade.json scripts/loadtest.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+spec=${LOAD_SPEC:-scenarios/loadtest_fabric.json}
+n=${LOAD_N:-16}
+c=${LOAD_C:-4}
+
+out="BENCH_$(date +%Y%m%d).json"
+tmp=$(mktemp -d)
+daemon=
+cleanup() {
+    if [ -n "$daemon" ] && kill -0 "$daemon" 2>/dev/null; then
+        kill "$daemon" 2>/dev/null || true
+        wait "$daemon" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build crystald + crystalload + benchjson" >&2
+go build -o "$tmp/crystald" ./cmd/crystald
+go build -o "$tmp/crystalload" ./cmd/crystalload
+go build -o "$tmp/benchjson" ./cmd/benchjson
+
+echo "== boot crystald" >&2
+"$tmp/crystald" -addr 127.0.0.1:0 -portfile "$tmp/port" 2>"$tmp/crystald.log" &
+daemon=$!
+i=0
+while [ ! -s "$tmp/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "crystald did not write its portfile; log:" >&2
+        cat "$tmp/crystald.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$daemon" 2>/dev/null; then
+        echo "crystald exited early; log:" >&2
+        cat "$tmp/crystald.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/port")
+echo "crystald listening on $addr" >&2
+
+echo "== crystalload ($n requests, $c concurrent, $spec)" >&2
+"$tmp/crystalload" -server "$addr" -spec "$spec" -n "$n" -c "$c" >"$tmp/load.json"
+
+echo "== drain crystald (SIGTERM)" >&2
+kill -TERM "$daemon"
+if ! wait "$daemon"; then
+    echo "crystald did not drain cleanly; log:" >&2
+    cat "$tmp/crystald.log" >&2
+    exit 1
+fi
+daemon=
+
+"$tmp/benchjson" -loadtest "$tmp/load.json" </dev/null >"$out"
+echo "wrote $out" >&2
