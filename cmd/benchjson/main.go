@@ -1,7 +1,8 @@
 // benchjson merges `go test -bench` text (stdin), `crystalbench -json`
-// output (-crystal) and `crystalload` output (-loadtest) into one
-// machine-readable BENCH_<date>.json document, so benchmark history can be
-// diffed across commits without scraping the formats separately.
+// output (-crystal), `crystalload` output (-loadtest), and the §10 scale
+// benchmark (-scale, -memstats) into one machine-readable BENCH_<date>.json
+// document, so benchmark history can be diffed across commits without
+// scraping the formats separately.
 // scripts/bench.sh and scripts/loadtest.sh are the intended drivers.
 package main
 
@@ -34,7 +35,16 @@ type document struct {
 	CrystalBench json.RawMessage `json:"crystalbench,omitempty"`
 	// LoadTest embeds crystalload's output: crystald latency quantiles and
 	// warm-pool hit rate under concurrent rehearsal requests.
-	LoadTest   json.RawMessage `json:"loadtest,omitempty"`
+	LoadTest json.RawMessage `json:"loadtest,omitempty"`
+	// MemStats embeds the runtime.MemStats summary crystalbench -memstats
+	// writes (heap_alloc, total_alloc, heap_sys, num_gc), so heap history
+	// rides the same document as the latency numbers.
+	MemStats json.RawMessage `json:"memstats,omitempty"`
+	// Scale embeds crystalbench -scale -json output: the DESIGN.md §10
+	// whole-fabric convergence results (wall-clock, peak/live heap, peak
+	// RSS, intern hit rate) for the interned pass and its non-interned
+	// baseline.
+	Scale      json.RawMessage `json:"scale,omitempty"`
 	Benchmarks []microBench    `json:"benchmarks"`
 }
 
@@ -55,6 +65,8 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	crystal := flag.String("crystal", "", "path to crystalbench -json output to embed")
 	loadtest := flag.String("loadtest", "", "path to crystalload output to embed")
+	memstats := flag.String("memstats", "", "path to crystalbench -memstats output to embed")
+	scale := flag.String("scale", "", "path to crystalbench -scale -json output to embed")
 	flag.Parse()
 
 	doc := document{
@@ -67,6 +79,12 @@ func main() {
 	}
 	if *loadtest != "" {
 		doc.LoadTest = embedJSON(*loadtest)
+	}
+	if *memstats != "" {
+		doc.MemStats = embedJSON(*memstats)
+	}
+	if *scale != "" {
+		doc.Scale = embedJSON(*scale)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)

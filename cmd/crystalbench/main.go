@@ -5,7 +5,8 @@
 // Usage:
 //
 //	crystalbench [-reps N] [-ldcscale N] [-quick] [-workers N]
-//	             [-only table1,figure8,...] [-json] [-trace FILE]
+//	             [-only table1,figure8,...] [-scale sdc|mdc|ldcdiv] [-shards N]
+//	             [-nobaseline] [-json] [-trace FILE] [-memstats FILE]
 //	             [-cpuprofile FILE] [-memprofile FILE]
 //
 // -quick runs a reduced sweep (fewer repetitions, no M-DC/L-DC in the
@@ -13,7 +14,18 @@
 // 4636-device fabric (needs tens of GB of RAM). -workers bounds the worker
 // pool that fans independent emulation runs across cores (0 = GOMAXPROCS).
 // -json emits the raw experiment structs as one JSON object instead of the
-// formatted tables. -cpuprofile / -memprofile write pprof profiles covering
+// formatted tables.
+//
+// -scale runs the DESIGN.md §10 scale benchmark on one fabric (sdc, mdc, or
+// ldcdiv — L-DC at the -ldcscale divisor): wall-clock to route-ready, peak
+// and live heap, allocation volume and peak RSS, for an interned pass and a
+// non-interned baseline pass (-nobaseline skips the latter). -shards
+// additionally runs it with sharded convergence at that worker count.
+// -memstats writes the process's closing runtime.MemStats
+// (HeapAlloc/TotalAlloc/HeapSys/NumGC) as JSON for benchjson -memstats to
+// embed.
+//
+// -cpuprofile / -memprofile write pprof profiles covering
 // the selected experiments, so perf work is reproducible without editing
 // code:
 //
@@ -81,6 +93,10 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to `file`")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the runs) to `file`")
 	traceOut := flag.String("trace", "", "run one traced S-DC mockup cycle and write a Chrome trace_event file to `file`")
+	scale := flag.String("scale", "", "run the §10 scale benchmark on one fabric: sdc, mdc, or ldcdiv (L-DC at the -ldcscale divisor)")
+	shards := flag.Int("shards", 0, "worker count for sharded convergence in -scale (0 = classic single engine)")
+	noBaseline := flag.Bool("nobaseline", false, "skip the non-interned baseline pass in -scale (halves the wall-clock; for smoke tests)")
+	memStats := flag.String("memstats", "", "write closing runtime.MemStats as JSON to `file` (for benchjson -memstats)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -103,7 +119,15 @@ func main() {
 			want[strings.TrimSpace(k)] = true
 		}
 	}
-	run := func(key string) bool { return len(want) == 0 || want[key] }
+	// -scale without -only runs just the scale benchmark: it exists to be a
+	// bounded, single-fabric measurement (scripts/check.sh smokes M-DC with
+	// it under a timeout).
+	run := func(key string) bool {
+		if *scale != "" && len(want) == 0 {
+			return false
+		}
+		return len(want) == 0 || want[key]
+	}
 	section := func(title string) { fmt.Printf("\n==== %s ====\n\n", title) }
 
 	// With -json, collect every selected experiment's raw structs here and
@@ -118,6 +142,23 @@ func main() {
 		fmt.Print(formatted)
 	}
 
+	if *scale != "" {
+		var spec topo.ClosSpec
+		switch *scale {
+		case "sdc":
+			spec = topo.SDC()
+		case "mdc":
+			spec = topo.MDC()
+		case "ldcdiv":
+			spec = topo.LDCScaled(*ldcScale)
+		default:
+			fmt.Fprintf(os.Stderr, "crystalbench: -scale must be sdc, mdc or ldcdiv (got %q)\n", *scale)
+			os.Exit(1)
+		}
+		rs := experiments.Scale(experiments.ScaleConfig{Spec: spec, Shards: *shards, Baseline: !*noBaseline})
+		emit("scale", fmt.Sprintf("§10 scale benchmark — %s wall-clock and memory (interned vs baseline)", spec.Name),
+			experiments.FormatScale(rs), rs)
+	}
 	if run("table1") {
 		rows := experiments.Table1()
 		emit("table1", "Table 1 — incident root causes: emulation vs verification coverage",
@@ -186,6 +227,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "crystalbench: wrote %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+
+	if *memStats != "" {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		stats := map[string]uint64{
+			"heap_alloc":  m.HeapAlloc,
+			"total_alloc": m.TotalAlloc,
+			"heap_sys":    m.HeapSys,
+			"num_gc":      uint64(m.NumGC),
+		}
+		f, err := os.Create(*memStats)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crystalbench: -memstats: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(stats); err != nil {
+			fmt.Fprintf(os.Stderr, "crystalbench: -memstats: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	if *memProfile != "" {

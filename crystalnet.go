@@ -195,6 +195,11 @@ func MDC() ClosSpec { return topo.MDC() }
 // LDC returns the large datacenter spec.
 func LDC() ClosSpec { return topo.LDC() }
 
+// LDCScaled returns L-DC with its pod count divided by factor, preserving
+// the spine/border shape (the fabric the scale benchmarks and boundary
+// experiments run when the full 4636-device L-DC will not fit).
+func LDCScaled(factor int) ClosSpec { return topo.LDCScaled(factor) }
+
 // FindSafeDCBoundary is Algorithm 1: grow a must-emulate set to a safe
 // boundary by walking child-to-parent edges.
 func FindSafeDCBoundary(n *Network, must []string) (map[string]bool, error) {

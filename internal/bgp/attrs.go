@@ -185,6 +185,13 @@ func (p *ASPath) String() string {
 
 // Attrs is the full path-attribute set of a route. Attrs values are shared
 // between all NLRI of an UPDATE and between RIB entries; treat as immutable.
+//
+// NextHop is zero on every RIB-resident Attrs the router produces: the
+// fabric is next-hop-self on all sessions, so the next hop is carried
+// per-message (Update.NextHop) and derived from the owning session at
+// FIB-install time. That session-independence is what lets one interned
+// Attrs be shared by every device in the process (DESIGN.md §10). The field
+// remains for models that build standalone attribute sets (batfish).
 type Attrs struct {
 	Origin    Origin
 	Path      *ASPath

@@ -1,0 +1,11 @@
+//go:build !crystaldebug
+
+package bgp
+
+// debugAttrs gates the sealed-Attrs mutation assertions. In release builds
+// the checks compile away; build with -tags crystaldebug to enable them
+// (scripts/check.sh does for this package).
+const debugAttrs = false
+
+// assertSealed is a no-op in release builds.
+func assertSealed(*Attrs) {}

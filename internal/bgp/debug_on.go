@@ -1,0 +1,21 @@
+//go:build crystaldebug
+
+package bgp
+
+import "fmt"
+
+// debugAttrs enables the sealed-Attrs mutation assertions (-tags
+// crystaldebug).
+const debugAttrs = true
+
+// assertSealed panics if a sealed/interned Attrs was mutated after its
+// fingerprint memo was filled. The Attrs doc comment promises the memo is
+// "filled at most once" and that copy-and-mutate code resets it; this is
+// the enforcement for that contract. A mutation of AggID alone is not
+// detectable this way (the fingerprint deliberately omits it for wire
+// grouping), which is why the intern key carries AggID separately.
+func assertSealed(a *Attrs) {
+	if a.ekey != "" && a.ekey != computeAttrsKey(a) {
+		panic(fmt.Sprintf("bgp: sealed Attrs mutated after fingerprint fill: %s", a))
+	}
+}

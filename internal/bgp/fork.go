@@ -2,7 +2,6 @@ package bgp
 
 import (
 	"crystalnet/internal/netpkt"
-	"crystalnet/internal/rib"
 )
 
 // SealAttrs forces the lazy fingerprint memo (ekey) on every *Attrs the
@@ -10,17 +9,20 @@ import (
 // for that memo, so sealing them once, single-threaded, at checkpoint time
 // turns them fully read-only — after which any number of concurrent forks
 // can alias them without cloning and without racing on the memo fill.
+//
+// With the global intern table (Intern) active this is a near-no-op: every
+// attrs that entered a RIB came through Intern, which filled the memo
+// before publication, so the walk only touches stragglers created while
+// interning was disabled.
 func (r *Router) SealAttrs() {
 	seal := func(a *Attrs) {
-		if a != nil {
+		if a != nil && a.ekey == "" {
 			attrsKey(a)
 		}
 	}
-	for _, p := range r.peers {
-		for _, a := range p.adjIn {
-			seal(a)
-		}
-	}
+	// The per-peer Adj-RIB-In is a presence bitset: every attrs a peer has
+	// accepted is also a Loc-RIB candidate, so walking the Loc-RIB (below)
+	// covers the whole reachable attrs set.
 	sealEntry := func(e *ribEntry) {
 		for i := range e.candidates {
 			seal(e.candidates[i].attrs)
@@ -33,6 +35,18 @@ func (r *Router) SealAttrs() {
 	for i := range r.aggState {
 		for _, e := range r.aggState[i].covered {
 			sealEntry(e)
+		}
+	}
+	// Advertised export templates are not reachable from the Loc-RIB (they
+	// carry the prepended path), yet forks alias them for the no-change
+	// flush comparison — seal those too.
+	for _, p := range r.peers {
+		p.advertised.Range(func(_ int, a *Attrs) bool {
+			seal(a)
+			return true
+		})
+		for _, a := range p.advertisedM {
+			seal(a)
 		}
 	}
 }
@@ -68,6 +82,7 @@ func (r *Router) Fork(clock Clock, hooks Hooks) *Router {
 		locRIB:       make(map[netpkt.Prefix]*ribEntry, len(r.locRIB)),
 		seq:          r.seq,
 		nextID:       r.nextID,
+		prefixByID:   append([]netpkt.Prefix(nil), r.prefixByID...),
 		prependCache: map[*ASPath]*ASPath{},
 	}
 	// The fork's hooks carry the fork's recorder, whose counters already
@@ -79,35 +94,39 @@ func (r *Router) Fork(clock Clock, hooks Hooks) *Router {
 	c.peers = make([]*Peer, len(r.peers))
 	for i, p := range r.peers {
 		np := &Peer{
-			router:        c,
-			Index:         p.Index,
-			Config:        p.Config,
-			state:         p.state,
-			remoteID:      p.remoteID,
-			openSent:      p.openSent,
-			localGen:      p.localGen,
-			remoteGen:     p.remoteGen,
-			dirtyBits:     append([]uint64(nil), p.dirtyBits...),
-			dirtyList:     append([]netpkt.Prefix(nil), p.dirtyList...),
-			exportCacheOK: p.exportCacheOK,
-			MsgsIn:        p.MsgsIn,
-			MsgsOut:       p.MsgsOut,
-			RoutesIn:      p.RoutesIn,
-			WithdrawsIn:   p.WithdrawsIn,
+			router:      c,
+			Index:       p.Index,
+			Config:      p.Config,
+			state:       p.state,
+			remoteID:    p.remoteID,
+			openSent:    p.openSent,
+			localGen:    p.localGen,
+			remoteGen:   p.remoteGen,
+			dirtyBits:   append([]uint64(nil), p.dirtyBits...),
+			dirtyList:   append([]netpkt.Prefix(nil), p.dirtyList...),
+			MsgsIn:      p.MsgsIn,
+			MsgsOut:     p.MsgsOut,
+			RoutesIn:    p.RoutesIn,
+			WithdrawsIn: p.WithdrawsIn,
 		}
 		// flushTimer is a pending closure and must be nil: forks are only
 		// taken at quiescence, when every MRAI flush has already fired.
-		if p.adjIn != nil {
-			np.adjIn = make(map[netpkt.Prefix]*Attrs, len(p.adjIn))
-			for pfx, a := range p.adjIn {
-				np.adjIn[pfx] = a
+		// The dense Adj-RIB tables clone their backing arrays; the *Attrs
+		// values are sealed immutables and alias across the fork. A session
+		// running the baseline map layout clones its maps instead.
+		np.mapRIBs = p.mapRIBs
+		if p.mapRIBs {
+			np.adjInM = make(map[netpkt.Prefix]*Attrs, len(p.adjInM))
+			for pfx, a := range p.adjInM {
+				np.adjInM[pfx] = a
 			}
-		}
-		if p.advertised != nil {
-			np.advertised = make(map[netpkt.Prefix]string, len(p.advertised))
-			for pfx, key := range p.advertised {
-				np.advertised[pfx] = key
+			np.advertisedM = make(map[netpkt.Prefix]*Attrs, len(p.advertisedM))
+			for pfx, a := range p.advertisedM {
+				np.advertisedM[pfx] = a
 			}
+		} else {
+			np.adjIn = *p.adjIn.Clone()
+			np.advertised = *p.advertised.Clone()
 		}
 		c.peers[i] = np
 	}
@@ -120,19 +139,16 @@ func (r *Router) Fork(clock Clock, hooks Hooks) *Router {
 			return dup
 		}
 		dup := &ribEntry{
-			id:         e.id,
-			candidates: make([]candidate, len(e.candidates)),
-			best:       append([]int(nil), e.best...),
-			installed:  append([]rib.NextHop(nil), e.installed...),
+			id: e.id,
+			// Candidates carry peer *indices*, which are identical in the
+			// fork's peer slice, so the whole slice copies verbatim.
+			candidates: append([]candidate(nil), e.candidates...),
+			best:       append([]int32(nil), e.best...),
+			// installed aliases a canonical immutable hop group, so the fork
+			// shares it rather than copying (same policy as the attrs).
+			installed:  e.installed,
 			lastBest:   e.lastBest,
 			suppressed: e.suppressed,
-		}
-		for i, cand := range e.candidates {
-			var np *Peer
-			if cand.peer != nil {
-				np = c.peers[cand.peer.Index]
-			}
-			dup.candidates[i] = candidate{peer: np, attrs: cand.attrs, seq: cand.seq}
 		}
 		entryMap[e] = dup
 		return dup

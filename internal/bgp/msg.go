@@ -74,9 +74,18 @@ type Open struct {
 
 // Update is a BGP UPDATE message: withdrawals plus announcements sharing one
 // attribute set. An Update with only withdrawals has nil Attrs.
+//
+// NextHop carries the NEXT_HOP path attribute. It rides the Update rather
+// than the Attrs: the fabric is next-hop-self on every session (RFC 7938),
+// so a route's next hop is a property of the announcing session, not of the
+// route — the sender stamps its session address here at marshal time and
+// the receiver recovers it from the peer that delivered the message. Keeping
+// it out of Attrs is what lets one canonical interned attribute object be
+// shared by every session and every device in the process (DESIGN.md §10).
 type Update struct {
 	Withdrawn []netpkt.Prefix
 	Attrs     *Attrs
+	NextHop   netpkt.IP
 	NLRI      []netpkt.Prefix
 }
 
@@ -187,7 +196,7 @@ func MarshalUpdate(u *Update) []byte {
 	withdrawn := marshalPrefixes(nil, u.Withdrawn)
 	var attrs []byte
 	if u.Attrs != nil {
-		attrs = marshalAttrs(u.Attrs)
+		attrs = marshalAttrs(u.Attrs, u.NextHop)
 	}
 	nlri := marshalPrefixes(nil, u.NLRI)
 
@@ -216,7 +225,7 @@ func appendAttr(dst []byte, flags, typ uint8, data []byte) []byte {
 	return append(dst, data...)
 }
 
-func marshalAttrs(a *Attrs) []byte {
+func marshalAttrs(a *Attrs, nextHop netpkt.IP) []byte {
 	var out []byte
 	out = appendAttr(out, flagTransitive, attrOrigin, []byte{byte(a.Origin)})
 
@@ -234,7 +243,7 @@ func marshalAttrs(a *Attrs) []byte {
 	out = appendAttr(out, flagTransitive, attrASPath, pathData)
 
 	var nh [4]byte
-	binary.BigEndian.PutUint32(nh[:], uint32(a.NextHop))
+	binary.BigEndian.PutUint32(nh[:], uint32(nextHop))
 	out = appendAttr(out, flagTransitive, attrNextHop, nh[:])
 
 	if a.HasMED {
@@ -259,19 +268,20 @@ func marshalAttrs(a *Attrs) []byte {
 	return out
 }
 
-func parseAttrs(b []byte) (*Attrs, error) {
+func parseAttrs(b []byte) (*Attrs, netpkt.IP, error) {
+	var nextHop netpkt.IP
 	a := &Attrs{Path: EmptyPath}
 	sawOrigin, sawPath, sawNextHop := false, false, false
 	for len(b) > 0 {
 		if len(b) < 3 {
-			return nil, ErrMalformed
+			return nil, 0, ErrMalformed
 		}
 		flags, typ := b[0], b[1]
 		var alen int
 		var rest []byte
 		if flags&flagExtLen != 0 {
 			if len(b) < 4 {
-				return nil, ErrMalformed
+				return nil, 0, ErrMalformed
 			}
 			alen = int(binary.BigEndian.Uint16(b[2:4]))
 			rest = b[4:]
@@ -280,7 +290,7 @@ func parseAttrs(b []byte) (*Attrs, error) {
 			rest = b[3:]
 		}
 		if len(rest) < alen {
-			return nil, ErrMalformed
+			return nil, 0, ErrMalformed
 		}
 		data := rest[:alen]
 		b = rest[alen:]
@@ -288,7 +298,7 @@ func parseAttrs(b []byte) (*Attrs, error) {
 		switch typ {
 		case attrOrigin:
 			if alen != 1 || data[0] > 2 {
-				return nil, ErrMalformed
+				return nil, 0, ErrMalformed
 			}
 			a.Origin = Origin(data[0])
 			sawOrigin = true
@@ -297,14 +307,14 @@ func parseAttrs(b []byte) (*Attrs, error) {
 			d := data
 			for len(d) > 0 {
 				if len(d) < 2 {
-					return nil, ErrMalformed
+					return nil, 0, ErrMalformed
 				}
 				st, cnt := SegmentType(d[0]), int(d[1])
 				if st != ASSet && st != ASSequence {
-					return nil, ErrMalformed
+					return nil, 0, ErrMalformed
 				}
 				if len(d) < 2+4*cnt {
-					return nil, ErrMalformed
+					return nil, 0, ErrMalformed
 				}
 				seg := Segment{Type: st, ASNs: make([]uint32, cnt)}
 				for i := 0; i < cnt; i++ {
@@ -317,25 +327,25 @@ func parseAttrs(b []byte) (*Attrs, error) {
 			sawPath = true
 		case attrNextHop:
 			if alen != 4 {
-				return nil, ErrMalformed
+				return nil, 0, ErrMalformed
 			}
-			a.NextHop = netpkt.IP(binary.BigEndian.Uint32(data))
+			nextHop = netpkt.IP(binary.BigEndian.Uint32(data))
 			sawNextHop = true
 		case attrMED:
 			if alen != 4 {
-				return nil, ErrMalformed
+				return nil, 0, ErrMalformed
 			}
 			a.MED, a.HasMED = binary.BigEndian.Uint32(data), true
 		case attrLocalPref:
 			if alen != 4 {
-				return nil, ErrMalformed
+				return nil, 0, ErrMalformed
 			}
 			a.LocalPref, a.HasLP = binary.BigEndian.Uint32(data), true
 		case attrAtomicAgg:
 			a.Atomic = true
 		case attrAggregator:
 			if alen != 8 {
-				return nil, ErrMalformed
+				return nil, 0, ErrMalformed
 			}
 			a.AggAS = binary.BigEndian.Uint32(data[0:4])
 			a.AggID = netpkt.IP(binary.BigEndian.Uint32(data[4:8]))
@@ -343,14 +353,14 @@ func parseAttrs(b []byte) (*Attrs, error) {
 			// Unknown optional attributes are ignored; unknown well-known
 			// attributes are an error per RFC 4271.
 			if flags&flagOptional == 0 {
-				return nil, ErrMalformed
+				return nil, 0, ErrMalformed
 			}
 		}
 	}
 	if !sawOrigin || !sawPath || !sawNextHop {
-		return nil, ErrMalformed
+		return nil, 0, ErrMalformed
 	}
-	return a, nil
+	return a, nextHop, nil
 }
 
 // Decoded is the result of decoding one message.
@@ -442,10 +452,14 @@ func Decode(b []byte) (*Decoded, error) {
 			return nil, ErrMalformed
 		}
 		if al > 0 {
-			u.Attrs, err = parseAttrs(attrBytes)
+			u.Attrs, u.NextHop, err = parseAttrs(attrBytes)
 			if err != nil {
 				return nil, err
 			}
+			// The dominant allocation at scale: every neighbor of every
+			// device re-parses the same attribute bytes. Collapse to the
+			// process-wide canonical object.
+			u.Attrs = Intern(u.Attrs)
 		}
 		u.NLRI, err = parsePrefixes(nlriBytes)
 		if err != nil {
@@ -475,7 +489,7 @@ func Decode(b []byte) (*Decoded, error) {
 func MaxNLRIPerUpdate(attrs *Attrs) int {
 	overhead := headerLen + 4
 	if attrs != nil {
-		overhead += len(marshalAttrs(attrs))
+		overhead += len(marshalAttrs(attrs, 0))
 	}
 	per := 5 // worst case /32: 1 length byte + 4 octets
 	return (maxMessageLen - overhead) / per

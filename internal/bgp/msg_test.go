@@ -56,11 +56,11 @@ func TestNotificationRoundTrip(t *testing.T) {
 func TestUpdateRoundTripFullAttrs(t *testing.T) {
 	u := &Update{
 		Withdrawn: []netpkt.Prefix{pfx("10.9.0.0/16"), pfx("0.0.0.0/0")},
+		NextHop:   ip("10.128.0.1"),
 		Attrs: &Attrs{
-			Origin:  OriginEGP,
-			Path:    &ASPath{Segments: []Segment{{Type: ASSequence, ASNs: []uint32{65100, 4200000001}}, {Type: ASSet, ASNs: []uint32{1, 2}}}},
-			NextHop: ip("10.128.0.1"),
-			MED:     42, HasMED: true,
+			Origin: OriginEGP,
+			Path:   &ASPath{Segments: []Segment{{Type: ASSequence, ASNs: []uint32{65100, 4200000001}}, {Type: ASSet, ASNs: []uint32{1, 2}}}},
+			MED:    42, HasMED: true,
 			LocalPref: 200, HasLP: true,
 			Atomic: true,
 			AggAS:  65006, AggID: ip("10.0.0.6"),
@@ -78,8 +78,13 @@ func TestUpdateRoundTripFullAttrs(t *testing.T) {
 	if len(g.NLRI) != 3 || g.NLRI[2] != pfx("10.0.0.1/32") {
 		t.Fatalf("nlri mismatch: %v", g.NLRI)
 	}
+	// NEXT_HOP is a session property: it round-trips on the Update, and the
+	// decoded (canonical, internable) attrs never carry it.
+	if g.NextHop != u.NextHop {
+		t.Fatalf("next hop mismatch: got %v want %v", g.NextHop, u.NextHop)
+	}
 	a := g.Attrs
-	if a.Origin != OriginEGP || !a.Path.Equal(u.Attrs.Path) || a.NextHop != u.Attrs.NextHop {
+	if a.Origin != OriginEGP || !a.Path.Equal(u.Attrs.Path) || a.NextHop != 0 {
 		t.Fatalf("attrs mismatch: %+v", a)
 	}
 	if !a.HasMED || a.MED != 42 || !a.HasLP || a.LocalPref != 200 || !a.Atomic {

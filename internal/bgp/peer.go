@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"crystalnet/internal/netpkt"
+	"crystalnet/internal/rib"
 )
 
 // SessionState is the BGP FSM state (RFC 4271 §8, condensed: the TCP
@@ -63,9 +64,34 @@ type Peer struct {
 	localGen  uint32 // our connection incarnation, refreshed on Start
 	remoteGen uint32 // the peer's incarnation, learned from its OPEN
 
-	adjIn map[netpkt.Prefix]*Attrs
-	// advertised maps prefix -> attrsKey of what was last announced.
-	advertised map[netpkt.Prefix]string
+	// adjIn tracks which Loc-RIB entry ids this peer has an accepted route
+	// for — a dense presence bitset instead of a per-route hash map, the
+	// §10 memory restructuring that makes M-DC RIBs fit. The accepted attrs
+	// themselves live only in the Loc-RIB candidate list (keyed by this
+	// peer), so the per-peer table stores zero bytes per route. advertised
+	// holds the canonical attrs last announced per entry id; the flush
+	// comparison falls back to attrsKey equality so the router stays live
+	// even when interning is disabled (pointer inequality alone would
+	// re-advertise identical routes forever).
+	adjIn      rib.Dense[struct{}]
+	advertised rib.Dense[*Attrs]
+	// mapRIBs switches the session to the pre-§10 per-route map layout.
+	// It latches !interningEnabled() at session start: the non-interned
+	// baseline the scale benchmark measures against is the seed's memory
+	// model — per-route hash maps AND unshared attrs — so disabling
+	// interning disables the compact layout with it. Behaviour is
+	// identical in both layouts (flush output is sorted either way); only
+	// the bytes per route differ.
+	mapRIBs     bool
+	adjInM      map[netpkt.Prefix]*Attrs
+	advertisedM map[netpkt.Prefix]*Attrs
+	// exportCacheM is the pre-§10 export-template memo: per peer, keyed on
+	// the best candidate's attrs pointer. Baseline sessions keep it so the
+	// ablation pays the seed's full memory bill — without interning every
+	// received route carries a distinct attrs pointer, so the memo grows
+	// with the table. Interned sessions use the router-level exportCache
+	// instead and leave this nil.
+	exportCacheM map[*Attrs]exportVal
 	// The dirty set is a bitset addressed by ribEntry.id plus the insertion-
 	// order list of prefixes to visit at the next flush; marking a prefix
 	// dirty on every peer is on the decide hot path, and the bit test is far
@@ -73,10 +99,6 @@ type Peer struct {
 	dirtyBits  []uint64
 	dirtyList  []netpkt.Prefix
 	flushTimer Timer
-	// exportCache memoizes exportRoute per best-path attrs; valid only when
-	// exportCacheOK (prefix-independent export policy).
-	exportCache   map[*Attrs]exportVal
-	exportCacheOK bool
 	// staleScratch is reused by reset to withdraw learned routes.
 	staleScratch []netpkt.Prefix
 
@@ -89,13 +111,92 @@ type Peer struct {
 func (p *Peer) State() SessionState { return p.state }
 
 // AdjInLen returns the number of routes accepted from this peer.
-func (p *Peer) AdjInLen() int { return len(p.adjIn) }
+func (p *Peer) AdjInLen() int {
+	if p.mapRIBs {
+		return len(p.adjInM)
+	}
+	return p.adjIn.Len()
+}
 
 // AdvertisedLen returns the number of routes currently announced to this
 // peer.
-func (p *Peer) AdvertisedLen() int { return len(p.advertised) }
+func (p *Peer) AdvertisedLen() int {
+	if p.mapRIBs {
+		return len(p.advertisedM)
+	}
+	return p.advertised.Len()
+}
 
-// exportVal is one memoized exportRoute outcome.
+// The adj*/adv* helpers below are the layout seam between the compact dense
+// tables and the baseline per-route maps (see mapRIBs). Both Adj-RIBs are
+// addressed by (prefix, Loc-RIB entry id); the dense layout uses the id,
+// the map layout the prefix.
+
+func (p *Peer) adjSet(pfx netpkt.Prefix, id int, a *Attrs) {
+	if p.mapRIBs {
+		if p.adjInM == nil {
+			p.adjInM = map[netpkt.Prefix]*Attrs{}
+		}
+		p.adjInM[pfx] = a
+		return
+	}
+	p.adjIn.Set(id, struct{}{})
+}
+
+func (p *Peer) adjDelete(pfx netpkt.Prefix, id int) bool {
+	if p.mapRIBs {
+		if _, ok := p.adjInM[pfx]; ok {
+			delete(p.adjInM, pfx)
+			return true
+		}
+		return false
+	}
+	return p.adjIn.Delete(id)
+}
+
+func (p *Peer) advGet(pfx netpkt.Prefix, id int) (*Attrs, bool) {
+	if p.mapRIBs {
+		a, ok := p.advertisedM[pfx]
+		return a, ok
+	}
+	return p.advertised.Get(id)
+}
+
+func (p *Peer) advSet(pfx netpkt.Prefix, id int, a *Attrs) {
+	if p.mapRIBs {
+		if p.advertisedM == nil {
+			p.advertisedM = map[netpkt.Prefix]*Attrs{}
+		}
+		p.advertisedM[pfx] = a
+		return
+	}
+	p.advertised.Set(id, a)
+}
+
+func (p *Peer) advDelete(pfx netpkt.Prefix, id int) bool {
+	if p.mapRIBs {
+		if _, ok := p.advertisedM[pfx]; ok {
+			delete(p.advertisedM, pfx)
+			return true
+		}
+		return false
+	}
+	return p.advertised.Delete(id)
+}
+
+// clearRIBs empties both Adj-RIBs in whichever layout is active.
+func (p *Peer) clearRIBs() {
+	if p.mapRIBs {
+		p.adjInM = nil
+		p.advertisedM = nil
+		p.exportCacheM = nil
+		return
+	}
+	p.adjIn.Clear()
+	p.advertised.Clear()
+}
+
+// exportVal is one memoized export-template outcome (see Router.exportCache).
 type exportVal struct {
 	attrs *Attrs
 	ok    bool
@@ -114,15 +215,11 @@ func (p *Peer) Start() {
 		return
 	}
 	p.localGen = connGen.Add(1)
-	if p.adjIn == nil {
-		p.adjIn = map[netpkt.Prefix]*Attrs{}
-		p.advertised = map[netpkt.Prefix]string{}
-	} else {
-		clear(p.adjIn)
-		clear(p.advertised)
-	}
+	// The baseline layout latches here: a session started while interning
+	// is off runs the seed's per-route map Adj-RIBs for its lifetime.
+	p.mapRIBs = !interningEnabled()
+	p.clearRIBs()
 	p.clearDirty()
-	p.exportCache = nil
 	if p.Config.Passive {
 		return
 	}
@@ -177,20 +274,21 @@ func (p *Peer) reset(reason string) {
 		p.flushTimer.Cancel()
 		p.flushTimer = nil
 	}
-	if p.adjIn == nil {
-		// A session can reset (and even re-establish) without Start ever
-		// having run on this side; make sure the RIB maps exist.
-		p.adjIn = map[netpkt.Prefix]*Attrs{}
-		p.advertised = map[netpkt.Prefix]string{}
-	}
 	p.staleScratch = p.staleScratch[:0]
-	for pfx := range p.adjIn {
-		p.staleScratch = append(p.staleScratch, pfx)
+	if p.mapRIBs {
+		for pfx := range p.adjInM {
+			p.staleScratch = append(p.staleScratch, pfx)
+		}
+		// Map iteration order is random; sort so teardown stays deterministic.
+		sortPrefixes(p.staleScratch)
+	} else {
+		p.adjIn.Range(func(id int, _ struct{}) bool {
+			p.staleScratch = append(p.staleScratch, p.router.prefixByID[id])
+			return true
+		})
 	}
-	clear(p.adjIn)
-	clear(p.advertised)
+	p.clearRIBs()
 	p.clearDirty()
-	p.exportCache = nil
 	p.setState(StateIdle)
 	for _, pfx := range p.staleScratch {
 		p.router.removeCandidate(pfx, p)
@@ -295,8 +393,7 @@ func (p *Peer) handleUpdate(u *Update) {
 	for _, pfx := range u.Withdrawn {
 		p.WithdrawsIn++
 		p.router.mWithdrawsIn.Inc()
-		if _, ok := p.adjIn[pfx]; ok {
-			delete(p.adjIn, pfx)
+		if e := p.router.locRIB[pfx]; e != nil && p.adjDelete(pfx, e.id) {
 			p.router.removeCandidate(pfx, p)
 		}
 	}
@@ -311,27 +408,31 @@ func (p *Peer) handleUpdate(u *Update) {
 		p.RoutesIn++
 		p.router.mRoutesIn.Inc()
 		attrs, permit := p.Config.ImportPolicy.Apply(pfx, u.Attrs)
+		if attrs != u.Attrs {
+			// The import policy derived a modified attribute set; intern it
+			// so policy-heavy fabrics share those too (u.Attrs itself is
+			// already canonical from Decode).
+			attrs = Intern(attrs)
+		}
 		if !permit {
 			// Treat as unfeasible: remove any previous acceptance.
-			if _, ok := p.adjIn[pfx]; ok {
-				delete(p.adjIn, pfx)
+			if e := p.router.locRIB[pfx]; e != nil && p.adjDelete(pfx, e.id) {
 				p.router.removeCandidate(pfx, p)
 			}
 			continue
 		}
-		p.adjIn[pfx] = attrs
-		p.router.upsertCandidate(pfx, p, attrs)
+		e := p.router.upsertCandidate(pfx, p, attrs)
+		p.adjSet(pfx, e.id, attrs)
 	}
 }
 
 // SetExportPolicy replaces the peer's export policy at runtime (an operator
-// route-map edit), drops the export memo it invalidates, and queues every
-// usable prefix for re-evaluation so withdraws and new announcements flow at
-// the next flush.
+// route-map edit) and queues every usable prefix for re-evaluation so
+// withdraws and new announcements flow at the next flush. The router's
+// export-template memo keys on the policy pointer, so the entries computed
+// under the old policy simply become unreachable — no invalidation needed.
 func (p *Peer) SetExportPolicy(pol *Policy) {
 	p.Config.ExportPolicy = pol
-	p.exportCache = nil
-	p.exportCacheOK = pol.prefixIndependent()
 	for pfx, e := range p.router.locRIB {
 		if len(e.best) > 0 {
 			p.markDirty(pfx, e)
@@ -387,19 +488,25 @@ func (p *Peer) flush() {
 	groups := map[string]*group{}
 
 	for _, pfx := range p.dirtyList {
+		e := p.router.locRIB[pfx]
+		if e == nil {
+			continue // markDirty only queues prefixes with a Loc-RIB entry
+		}
 		attrs, ok := p.router.exportRoute(p, pfx)
 		if !ok {
-			if _, adv := p.advertised[pfx]; adv {
-				delete(p.advertised, pfx)
+			if p.advDelete(pfx, e.id) {
 				withdrawals = append(withdrawals, pfx)
 			}
 			continue
 		}
-		key := attrsKey(attrs)
-		if prev, adv := p.advertised[pfx]; adv && prev == key {
+		// Interning makes the no-change test a pointer compare in the common
+		// case; the attrsKey fallback keeps the MRAI loop convergent when
+		// interning is off (equal bytes, different pointers).
+		if prev, adv := p.advGet(pfx, e.id); adv && (prev == attrs || attrsKey(prev) == attrsKey(attrs)) {
 			continue // no visible change
 		}
-		p.advertised[pfx] = key
+		p.advSet(pfx, e.id, attrs)
+		key := attrsKey(attrs)
 		g := groups[key]
 		if g == nil {
 			g = &group{attrs: attrs}
@@ -426,7 +533,9 @@ func (p *Peer) flush() {
 		sortPrefixes(g.prefixes)
 		max := MaxNLRIPerUpdate(g.attrs)
 		for _, chunk := range chunkPrefixes(g.prefixes, max) {
-			p.send(MarshalUpdate(&Update{Attrs: g.attrs, NLRI: chunk}))
+			// Next-hop-self: the session's local address is stamped onto the
+			// wire here, so the RIB-resident attrs stay session-independent.
+			p.send(MarshalUpdate(&Update{Attrs: g.attrs, NextHop: p.Config.LocalIP, NLRI: chunk}))
 		}
 	}
 }

@@ -89,11 +89,19 @@ type Hooks struct {
 	Rec *obs.Recorder
 }
 
-// candidate is one usable route for a prefix.
+// candidate is one usable route for a prefix. The struct is kept to 16
+// bytes — an M-DC fabric holds millions of candidates, so the 8 bytes a
+// peer pointer would cost are measurable (DESIGN.md §10).
 type candidate struct {
-	peer  *Peer // nil for locally originated (including aggregates)
 	attrs *Attrs
-	seq   uint64 // arrival order, for non-deterministic tie mode
+	// peerIdx indexes r.peers for the advertising session, or is -1 for
+	// locally originated routes (including aggregates). Resolve through
+	// Router.candPeer.
+	peerIdx int32
+	// seq is arrival order, for the non-deterministic tie mode. 32 bits
+	// wrap only after 4 billion updates through one router — far beyond
+	// any campaign the engine's event budget admits.
+	seq uint32
 }
 
 // ribEntry is the per-prefix Loc-RIB state.
@@ -103,9 +111,13 @@ type ribEntry struct {
 	id         int
 	candidates []candidate
 	// best holds the indices of the current multipath winners;
-	// best[0] is the primary best path (the one advertised).
-	best []int
-	// installed caches the next hops programmed into the FIB.
+	// best[0] is the primary best path (the one advertised). int32
+	// halves the backing arrays across the Loc-RIB (candidate counts are
+	// bounded by the peer count, nowhere near the 32-bit range).
+	best []int32
+	// installed caches the next hops programmed into the FIB. It aliases a
+	// canonical group from the router's hopSets table (or is nil) — never
+	// mutate it in place.
 	installed []rib.NextHop
 	// lastBest caches the previously advertised primary attrs so decide can
 	// detect visible changes after candidates have been mutated.
@@ -123,15 +135,31 @@ type Router struct {
 	peers []*Peer
 
 	locRIB map[netpkt.Prefix]*ribEntry
-	seq    uint64
+	seq    uint32
 	nextID int
+	// prefixByID maps a ribEntry's dense id back to its prefix (ids are
+	// assigned in creation order and never reused), letting the peers' dense
+	// Adj-RIB tables recover the prefix without storing it per route.
+	prefixByID []netpkt.Prefix
 	// prependCache memoizes Prepend(cfg.AS) per source path: every export
 	// through this router prepends the same AS, so the per-export path
 	// allocation collapses to a map hit. Bounded; cleared when full.
 	prependCache map[*ASPath]*ASPath
+	// exportCache memoizes the export template per (best attrs, policy,
+	// locally-originated). One cached template serves every peer of the
+	// router: with next-hop carried per-Update instead of per-Attrs, the
+	// exported attribute set no longer varies by session, and the per-peer
+	// differences (split horizon, loop avoidance, AdvertiseLocalOnly) are
+	// allocation-free predicates checked before the cache. Valid only while
+	// interning is on — the keys are canonical pointers. Bounded; cleared
+	// wholesale when full.
+	exportCache map[exportKey]exportVal
 	// nhScratch is the reusable buffer nextHops fills on every decide; the
-	// hops are copied out only when they actually change.
+	// hops are copied out only when they actually change. hopSets interns
+	// the distinct hop groups those copies land in, so the thousands of
+	// entries forwarding over the same ECMP group share one slice.
 	nhScratch []rib.NextHop
+	hopSets   rib.HopSetTable
 
 	// aggState tracks whether each configured aggregate is currently active
 	// and with which attribute set.
@@ -194,11 +222,10 @@ func (r *Router) Config() Config { return r.cfg }
 // call StartPeer once the transport is ready.
 func (r *Router) AddPeer(cfg PeerConfig) *Peer {
 	p := &Peer{
-		router:        r,
-		Index:         len(r.peers),
-		Config:        cfg,
-		state:         StateIdle,
-		exportCacheOK: cfg.ExportPolicy.prefixIndependent(),
+		router: r,
+		Index:  len(r.peers),
+		Config: cfg,
+		state:  StateIdle,
 	}
 	r.peers = append(r.peers, p)
 	return p
@@ -213,7 +240,7 @@ func (r *Router) Peer(i int) *Peer { return r.peers[i] }
 // Originate injects a locally originated route (network statement /
 // redistributed connected). It triggers advertisement to all peers.
 func (r *Router) Originate(p netpkt.Prefix) {
-	a := &Attrs{Origin: OriginIGP, Path: EmptyPath, NextHop: 0}
+	a := Intern(&Attrs{Origin: OriginIGP, Path: EmptyPath, NextHop: 0})
 	r.upsertCandidate(p, nil, a)
 }
 
@@ -225,7 +252,7 @@ func (r *Router) InjectLocal(p netpkt.Prefix, a *Attrs) {
 	if a.Path == nil {
 		a = a.WithPath(EmptyPath)
 	}
-	r.upsertCandidate(p, nil, a)
+	r.upsertCandidate(p, nil, Intern(a))
 }
 
 // WithdrawLocal removes a locally originated route.
@@ -262,9 +289,18 @@ func (r *Router) BestPeers(p netpkt.Prefix) []*Peer {
 	}
 	out := make([]*Peer, 0, len(e.best))
 	for _, i := range e.best {
-		out = append(out, e.candidates[i].peer)
+		out = append(out, r.candPeer(&e.candidates[i]))
 	}
 	return out
+}
+
+// candPeer resolves a candidate's advertising peer (nil when locally
+// originated).
+func (r *Router) candPeer(c *candidate) *Peer {
+	if c.peerIdx < 0 {
+		return nil
+	}
+	return r.peers[c.peerIdx]
 }
 
 // Prefixes returns all prefixes with a usable best path, in map order.
@@ -278,14 +314,17 @@ func (r *Router) Prefixes() []netpkt.Prefix {
 	return out
 }
 
-// upsertCandidate installs or replaces the candidate from the given source
-// (peer, or nil for local) and re-runs the decision process.
-func (r *Router) upsertCandidate(p netpkt.Prefix, peer *Peer, a *Attrs) {
+// entryFor returns the Loc-RIB entry for p, creating it (with a fresh dense
+// id, the prefixByID reverse mapping and aggregate coverage indexing) on
+// first sight. Entries are never deleted, so ids stay stable for the
+// router's lifetime.
+func (r *Router) entryFor(p netpkt.Prefix) *ribEntry {
 	e := r.locRIB[p]
 	if e == nil {
 		e = &ribEntry{id: r.nextID}
 		r.nextID++
 		r.locRIB[p] = e
+		r.prefixByID = append(r.prefixByID, p)
 		for i := range r.aggState {
 			st := &r.aggState[i]
 			if st.spec.Prefix != p && st.spec.Prefix.ContainsPrefix(p) {
@@ -296,17 +335,30 @@ func (r *Router) upsertCandidate(p netpkt.Prefix, peer *Peer, a *Attrs) {
 			}
 		}
 	}
+	return e
+}
+
+// upsertCandidate installs or replaces the candidate from the given source
+// (peer, or nil for local), re-runs the decision process, and returns the
+// entry so the caller can index its dense per-peer state by e.id.
+func (r *Router) upsertCandidate(p netpkt.Prefix, peer *Peer, a *Attrs) *ribEntry {
+	e := r.entryFor(p)
 	r.seq++
+	idx := int32(-1)
+	if peer != nil {
+		idx = int32(peer.Index)
+	}
 	for i := range e.candidates {
-		if e.candidates[i].peer == peer {
+		if e.candidates[i].peerIdx == idx {
 			e.candidates[i].attrs = a
 			e.candidates[i].seq = r.seq
 			r.decide(p, e)
-			return
+			return e
 		}
 	}
-	e.candidates = append(e.candidates, candidate{peer: peer, attrs: a, seq: r.seq})
+	e.candidates = append(e.candidates, candidate{attrs: a, peerIdx: idx, seq: r.seq})
 	r.decide(p, e)
+	return e
 }
 
 // removeCandidate drops the candidate from the given source.
@@ -315,8 +367,12 @@ func (r *Router) removeCandidate(p netpkt.Prefix, peer *Peer) {
 	if e == nil {
 		return
 	}
+	idx := int32(-1)
+	if peer != nil {
+		idx = int32(peer.Index)
+	}
 	for i := range e.candidates {
-		if e.candidates[i].peer == peer {
+		if e.candidates[i].peerIdx == idx {
 			e.candidates = append(e.candidates[:i], e.candidates[i+1:]...)
 			r.decide(p, e)
 			return
@@ -332,8 +388,8 @@ func (r *Router) better(a, b *candidate) bool {
 		return la > lb
 	}
 	// Locally originated wins.
-	if (a.peer == nil) != (b.peer == nil) {
-		return a.peer == nil
+	if (a.peerIdx < 0) != (b.peerIdx < 0) {
+		return a.peerIdx < 0
 	}
 	if la, lb := aa.Path.Length(), ba.Path.Length(); la != lb {
 		return la < lb
@@ -360,17 +416,18 @@ func (r *Router) better(a, b *candidate) bool {
 		return a.seq < b.seq
 	}
 	// Lowest peer router ID, then lowest peer address.
-	ida, idb := peerID(a.peer), peerID(b.peer)
+	ap, bp := r.candPeer(a), r.candPeer(b)
+	ida, idb := peerID(ap), peerID(bp)
 	if ida != idb {
 		return ida < idb
 	}
-	return peerAddr(a.peer) < peerAddr(b.peer)
+	return peerAddr(ap) < peerAddr(bp)
 }
 
 // multipathEligible reports whether two candidates can share the FIB entry.
 func multipathEligible(a, b *candidate) bool {
 	return a.attrs.EffectiveLocalPref() == b.attrs.EffectiveLocalPref() &&
-		(a.peer == nil) == (b.peer == nil) &&
+		(a.peerIdx < 0) == (b.peerIdx < 0) &&
 		a.attrs.Path.Length() == b.attrs.Path.Length() &&
 		a.attrs.Origin == b.attrs.Origin
 }
@@ -404,29 +461,36 @@ func (r *Router) decide(p netpkt.Prefix, e *ribEntry) {
 		}
 	}
 	if bi >= 0 {
-		e.best = append(e.best, bi)
+		e.best = append(e.best, int32(bi))
 		if r.cfg.MaxPaths > 1 {
 			for i := range e.candidates {
 				if i != bi && len(e.best) < r.cfg.MaxPaths &&
 					multipathEligible(&e.candidates[i], &e.candidates[bi]) {
-					e.best = append(e.best, i)
+					e.best = append(e.best, int32(i))
 				}
 			}
 		}
 	}
 
 	// Program the FIB. nextHops fills a scratch buffer; on a change the
-	// entry's own installed slice is reused (the hook contract forbids the
-	// callee from retaining nhs, so no per-change copy is needed).
+	// entry points at the canonical copy of that hop group (the hook
+	// contract forbids the callee from retaining nhs, so the canonical
+	// slice is never aliased outside the router).
 	hops := r.nextHops(e)
 	if !hopsEqual(hops, prevHops) {
 		if len(hops) == 0 {
 			if len(prevHops) > 0 && r.hooks.RemoveRoute != nil {
 				r.hooks.RemoveRoute(p)
 			}
-			e.installed = e.installed[:0]
+			e.installed = nil
 		} else {
-			e.installed = append(e.installed[:0], hops...)
+			if interningEnabled() {
+				e.installed = r.hopSets.Canonical(hops)
+			} else {
+				// Baseline layout for the §10 ablation: a private copy
+				// per entry, as the pre-interning router stored it.
+				e.installed = append(make([]rib.NextHop, 0, len(hops)), hops...)
+			}
 			if r.hooks.InstallRoute != nil {
 				if err := r.hooks.InstallRoute(p, e.installed); err != nil {
 					r.hooks.Logf("bgp %s: FIB install %s failed: %v", r.cfg.Name, p, err)
@@ -463,11 +527,13 @@ func (r *Router) primaryAttrs(e *ribEntry) *Attrs {
 func (r *Router) nextHops(e *ribEntry) []rib.NextHop {
 	out := r.nhScratch[:0]
 	for _, i := range e.best {
-		c := &e.candidates[i]
-		if c.peer == nil {
+		cp := r.candPeer(&e.candidates[i])
+		if cp == nil {
 			continue
 		}
-		out = append(out, rib.NextHop{IP: c.attrs.NextHop, Interface: c.peer.Config.Interface})
+		// Next-hop-self on every session means the next hop of a learned
+		// route is simply the address of the session it arrived on.
+		out = append(out, rib.NextHop{IP: cp.Config.RemoteIP, Interface: cp.Config.Interface})
 	}
 	r.nhScratch = out
 	return out
@@ -520,7 +586,7 @@ func (r *Router) localCandidate(p netpkt.Prefix) (*Attrs, bool) {
 		return nil, false
 	}
 	for i := range e.candidates {
-		if e.candidates[i].peer == nil {
+		if e.candidates[i].peerIdx < 0 {
 			return e.candidates[i].attrs, true
 		}
 	}
@@ -562,7 +628,7 @@ func (r *Router) buildAggregate(st *aggState) (*Attrs, int) {
 		a.Path = EmptyPath
 		a.Atomic = true
 	}
-	return a, n
+	return Intern(a), n
 }
 
 // setSuppression flips the suppressed flag of contributors under a
@@ -578,49 +644,46 @@ func (r *Router) setSuppression(st *aggState, suppress bool) {
 	}
 }
 
-// maxExportCache bounds each peer's export memo; maxPrependCache bounds the
-// router's path-prepend memo. Both are cleared wholesale when full — the
-// working sets in even L-DC mockups sit far below these limits.
+// maxExportCache bounds the router's export-template memo; maxPrependCache
+// bounds the router's path-prepend memo. Both are cleared wholesale when
+// full — the working sets in even L-DC mockups sit far below these limits.
 const (
 	maxExportCache  = 8192
 	maxPrependCache = 8192
 )
 
+// exportKey identifies one export-template computation: the best candidate's
+// attrs, the export policy applied to them, and whether the route is locally
+// originated (which controls MED stripping). Nothing else about the peer
+// reaches the template — next-hop rides the Update, not the Attrs.
+type exportKey struct {
+	attrs *Attrs
+	pol   *Policy
+	local bool
+}
+
 // exportRoute computes what to announce to peer for prefix p. ok=false
 // means "withdraw / do not advertise".
 //
-// When the peer's export policy is prefix-independent, the result is a pure
-// function of the best candidate's attrs (the attrs pointer also fixes the
-// source peer, which the split-horizon and loop checks depend on), so it is
-// memoized per peer keyed on that pointer.
+// The per-peer gates (split horizon, AdvertiseLocalOnly, loop avoidance) are
+// allocation-free and run on every call; the expensive part — policy
+// evaluation, the attribute copy, the AS prepend, interning — is a pure
+// function of (best attrs, policy, locally-originated) and is memoized at
+// router level when the policy is prefix-independent. The memo requires
+// interning: its keys are canonical pointers, and with interning off a
+// best-path pointer no longer identifies an attribute value across updates.
 func (r *Router) exportRoute(peer *Peer, p netpkt.Prefix) (*Attrs, bool) {
 	e := r.locRIB[p]
 	if e == nil || len(e.best) == 0 || e.suppressed {
 		return nil, false
 	}
 	best := &e.candidates[e.best[0]]
-	if peer.exportCacheOK {
-		if v, hit := peer.exportCache[best.attrs]; hit {
-			return v.attrs, v.ok
-		}
-	}
-	a, ok := r.exportRouteSlow(peer, p, best)
-	if peer.exportCacheOK {
-		if peer.exportCache == nil || len(peer.exportCache) >= maxExportCache {
-			peer.exportCache = make(map[*Attrs]exportVal, 64)
-		}
-		peer.exportCache[best.attrs] = exportVal{attrs: a, ok: ok}
-	}
-	return a, ok
-}
-
-func (r *Router) exportRouteSlow(peer *Peer, p netpkt.Prefix, best *candidate) (*Attrs, bool) {
 	// Split horizon: never reflect a route to the peer it came from.
-	if best.peer == peer {
+	if best.peerIdx == int32(peer.Index) {
 		return nil, false
 	}
 	// Static speakers only ever announce their installed routes (§5.1).
-	if peer.Config.AdvertiseLocalOnly && best.peer != nil {
+	if peer.Config.AdvertiseLocalOnly && best.peerIdx >= 0 {
 		return nil, false
 	}
 	// Sender-side loop avoidance (the behaviour Proposition 5.2 relies on):
@@ -628,21 +691,61 @@ func (r *Router) exportRouteSlow(peer *Peer, p netpkt.Prefix, best *candidate) (
 	if best.attrs.Path.Contains(peer.Config.RemoteAS) || peer.Config.RemoteAS == r.cfg.AS {
 		return nil, false
 	}
-	out, permit := peer.Config.ExportPolicy.Apply(p, best.attrs)
+	pol := peer.Config.ExportPolicy
+	cacheable := interningEnabled() && pol.prefixIndependent()
+	var key exportKey
+	if cacheable {
+		key = exportKey{attrs: best.attrs, pol: pol, local: best.peerIdx < 0}
+		if v, hit := r.exportCache[key]; hit {
+			return v.attrs, v.ok
+		}
+	} else if peer.mapRIBs && pol.prefixIndependent() {
+		// Baseline sessions keep the pre-§10 memo: per peer, keyed on the
+		// best candidate's attrs pointer. The pointer identifies the value
+		// (attrs are never mutated once in a RIB) and, for a prefix-
+		// independent policy, fully determines the template — a locally
+		// originated attrs pointer is never shared with a learned route, so
+		// the MED-strip distinction rides the pointer too.
+		if v, hit := peer.exportCacheM[best.attrs]; hit {
+			return v.attrs, v.ok
+		}
+	}
+	a, ok := r.exportTemplate(p, best, pol)
+	if cacheable {
+		if r.exportCache == nil || len(r.exportCache) >= maxExportCache {
+			r.exportCache = make(map[exportKey]exportVal, 256)
+		}
+		r.exportCache[key] = exportVal{attrs: a, ok: ok}
+	} else if peer.mapRIBs && pol.prefixIndependent() {
+		if peer.exportCacheM == nil || len(peer.exportCacheM) >= maxExportCache {
+			peer.exportCacheM = make(map[*Attrs]exportVal, 256)
+		}
+		peer.exportCacheM[best.attrs] = exportVal{attrs: a, ok: ok}
+	}
+	return a, ok
+}
+
+// exportTemplate builds the peer-independent exported attribute set for the
+// best candidate: policy rewrite, own-AS prepend, LOCAL_PREF strip, MED
+// strip unless locally originated. The session next-hop is injected at
+// marshal time by flush, never stored here.
+func (r *Router) exportTemplate(p netpkt.Prefix, best *candidate, pol *Policy) (*Attrs, bool) {
+	out, permit := pol.Apply(p, best.attrs)
 	if !permit {
 		return nil, false
 	}
-	// eBGP transformations: prepend own AS, next-hop-self, strip LOCAL_PREF,
-	// strip MED unless locally originated.
 	c := *out
 	c.Path = r.prependOwn(c.Path)
-	c.NextHop = peer.Config.LocalIP
+	c.NextHop = 0
 	c.HasLP, c.LocalPref = false, 0
-	if best.peer != nil {
+	if best.peerIdx >= 0 {
 		c.HasMED, c.MED = false, 0
 	}
 	c.ekey = ""
-	return &c, true
+	// Intern the export: the same route exported by every device in a tier
+	// produces the same attribute set, so the per-export allocation
+	// collapses to the canonical object everyone shares.
+	return Intern(&c), true
 }
 
 // prependOwn returns path with the router's own AS prepended, memoized per
@@ -672,6 +775,8 @@ func prefixLess(a, b netpkt.Prefix) bool {
 func attrsKey(a *Attrs) string {
 	if a.ekey == "" {
 		a.ekey = computeAttrsKey(a)
+	} else if debugAttrs {
+		assertSealed(a)
 	}
 	return a.ekey
 }
@@ -708,6 +813,19 @@ func computeAttrsKey(a *Attrs) string {
 		}
 	}
 	return string(b)
+}
+
+// Compact releases memoization state and trims the dense Adj-RIB tables to
+// their live extent. Called post-convergence when the process-wide RIB
+// accounting is over budget (rib.OverBudget); caches refill on demand, so
+// compaction trades a warm-up against peak RSS and never changes output.
+func (r *Router) Compact() {
+	r.prependCache = map[*ASPath]*ASPath{}
+	r.exportCache = nil
+	for _, p := range r.peers {
+		p.adjIn.Compact()
+		p.advertised.Compact()
+	}
 }
 
 // Stats summarizes router state for PullStates.

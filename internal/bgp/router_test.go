@@ -184,8 +184,10 @@ func TestRoutePropagationTwoHops(t *testing.T) {
 	if attrs.Path.String() != "65002 65001" {
 		t.Fatalf("c path = %q", attrs.Path)
 	}
-	if attrs.NextHop != pbc.Config.LocalIP {
-		t.Fatalf("c next hop = %v, want b's session IP %v", attrs.NextHop, pbc.Config.LocalIP)
+	// RIB-resident attrs are session-independent (next-hop rides the wire
+	// message, not the canonical attribute object).
+	if attrs.NextHop != 0 {
+		t.Fatalf("c RIB attrs carry a next hop (%v); want session-independent attrs", attrs.NextHop)
 	}
 	// c's FIB has the route.
 	if hops := c.fib[p]; len(hops) != 1 || hops[0].IP != pbc.Config.LocalIP {
@@ -384,20 +386,20 @@ func TestDecisionOriginAndMED(t *testing.T) {
 	p2 := r.AddPeer(PeerConfig{Name: "p2", RemoteAS: 65001, RemoteIP: 2, Interface: "et1"})
 	p1.remoteID, p2.remoteID = 10, 20
 
-	igp := &candidate{peer: p1, attrs: &Attrs{Origin: OriginIGP, Path: NewPath(65001)}}
-	egp := &candidate{peer: p2, attrs: &Attrs{Origin: OriginEGP, Path: NewPath(65001)}}
+	igp := &candidate{peerIdx: int32(p1.Index), attrs: &Attrs{Origin: OriginIGP, Path: NewPath(65001)}}
+	egp := &candidate{peerIdx: int32(p2.Index), attrs: &Attrs{Origin: OriginEGP, Path: NewPath(65001)}}
 	if !r.better(igp, egp) || r.better(egp, igp) {
 		t.Fatal("IGP origin must beat EGP")
 	}
 
-	med5 := &candidate{peer: p1, attrs: &Attrs{Origin: OriginIGP, Path: NewPath(65001), MED: 5, HasMED: true}}
-	med9 := &candidate{peer: p2, attrs: &Attrs{Origin: OriginIGP, Path: NewPath(65001), MED: 9, HasMED: true}}
+	med5 := &candidate{peerIdx: int32(p1.Index), attrs: &Attrs{Origin: OriginIGP, Path: NewPath(65001), MED: 5, HasMED: true}}
+	med9 := &candidate{peerIdx: int32(p2.Index), attrs: &Attrs{Origin: OriginIGP, Path: NewPath(65001), MED: 9, HasMED: true}}
 	if !r.better(med5, med9) || r.better(med9, med5) {
 		t.Fatal("lower MED must win within same neighbor AS")
 	}
 
 	// Different neighbor AS: MED not compared; falls to router ID.
-	medOther := &candidate{peer: p2, attrs: &Attrs{Origin: OriginIGP, Path: NewPath(65002), MED: 1, HasMED: true}}
+	medOther := &candidate{peerIdx: int32(p2.Index), attrs: &Attrs{Origin: OriginIGP, Path: NewPath(65002), MED: 1, HasMED: true}}
 	if !r.better(med5, medOther) {
 		t.Fatal("router-ID tiebreak should pick p1 (lower ID)")
 	}

@@ -21,6 +21,7 @@ import (
 	"crystalnet/internal/netpkt"
 	"crystalnet/internal/obs"
 	"crystalnet/internal/phynet"
+	"crystalnet/internal/rib"
 	"crystalnet/internal/sim"
 	"crystalnet/internal/speaker"
 	"crystalnet/internal/topo"
@@ -70,6 +71,20 @@ type Options struct {
 	// nil disables tracing at zero cost. The recorder is bound to the
 	// orchestrator's engine and rides through checkpoint/fork.
 	Rec *obs.Recorder
+	// Shards, when positive, runs convergence sharded (DESIGN.md §10): the
+	// device population is partitioned into one domain per VM, each with a
+	// private engine, and domains drain in parallel on up to Shards worker
+	// goroutines at every virtual instant. The value is the worker count
+	// only — the domain partition is fixed by the topology, so the
+	// emulation's observable output is byte-identical for every positive
+	// Shards value (1 is the serial reference schedule). 0 keeps the classic
+	// single-engine schedule, which orders events differently (per-domain
+	// RNG streams) and therefore is not comparable byte-for-byte.
+	Shards int
+	// RIBBudget, when positive, sets the process-wide Adj-RIB memory budget
+	// in bytes (rib.SetBudget): a convergence drive that ends over budget
+	// compacts every router's RIB storage.
+	RIBBudget int64
 }
 
 func (o *Options) defaults() {
@@ -95,6 +110,9 @@ type Orchestrator struct {
 // New creates an orchestrator with a fresh engine and cloud.
 func New(opts Options) *Orchestrator {
 	opts.defaults()
+	if opts.RIBBudget > 0 {
+		rib.SetBudget(opts.RIBBudget)
+	}
 	eng := sim.NewEngine(opts.Seed)
 	eng.SetRecorder(opts.Rec)
 	c := cloud.NewProvider(eng)

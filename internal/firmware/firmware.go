@@ -271,10 +271,12 @@ func (d *Device) logf(format string, args ...any) {
 	d.Logs = append(d.Logs, fmt.Sprintf("[%s] ", d.eng.Now())+fmt.Sprintf(format, args...))
 }
 
-// submit runs CPU work on the hosting VM (or immediately without one).
+// submit runs CPU work on the hosting VM (or immediately without one). The
+// completion event is scheduled on the device's own engine, which in a
+// sharded emulation is its domain engine rather than the master.
 func (d *Device) submit(coreSeconds float64, fn func()) {
 	if d.vm != nil {
-		d.vm.Submit(coreSeconds, fn)
+		d.vm.SubmitOn(d.eng, coreSeconds, fn)
 		return
 	}
 	if fn != nil {

@@ -34,11 +34,38 @@ func BenchmarkNilHistogramObserve(b *testing.B) {
 	}
 }
 
+func BenchmarkNilGaugeSet(b *testing.B) {
+	var r *Recorder
+	g := r.Gauge("rib.dense_bytes", "dev0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
 func BenchmarkLiveCounterInc(b *testing.B) {
 	r := New()
 	c := r.Counter("bgp.msgs_out", "dev0")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Inc()
+	}
+}
+
+func BenchmarkLiveGaugeSet(b *testing.B) {
+	r := New()
+	g := r.Gauge("rib.dense_bytes", "dev0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkLiveHistogramObserve(b *testing.B) {
+	r := New()
+	h := r.Histogram("recovery", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 97))
 	}
 }

@@ -1,0 +1,95 @@
+package rib
+
+import "testing"
+
+func TestDenseBasics(t *testing.T) {
+	var d Dense[*Entry]
+	if d.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	e1, e2 := &Entry{}, &Entry{}
+	d.Set(3, e1)
+	d.Set(70, e2)
+	d.Set(3, e2) // overwrite must not double-count
+	if d.Len() != 2 {
+		t.Fatalf("len=%d want 2", d.Len())
+	}
+	if v, ok := d.Get(3); !ok || v != e2 {
+		t.Fatal("get(3)")
+	}
+	if _, ok := d.Get(4); ok {
+		t.Fatal("get(4) should be absent")
+	}
+	if _, ok := d.Get(-1); ok {
+		t.Fatal("get(-1) should be absent")
+	}
+	var ids []int
+	d.Range(func(id int, v *Entry) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 70 {
+		t.Fatalf("range order %v, want [3 70]", ids)
+	}
+	if !d.Delete(70) || d.Delete(70) {
+		t.Fatal("delete(70)")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("len=%d want 1", d.Len())
+	}
+}
+
+func TestDenseCloneClearCompact(t *testing.T) {
+	var d Dense[int]
+	for i := 0; i < 100; i++ {
+		d.Set(i, i*i)
+	}
+	c := d.Clone()
+	c.Set(5, -1)
+	if v, _ := d.Get(5); v != 25 {
+		t.Fatal("clone mutated the original")
+	}
+	for i := 10; i < 100; i++ {
+		d.Delete(i)
+	}
+	before := Stats()
+	d.Compact()
+	after := Stats()
+	if after.DenseBytes >= before.DenseBytes {
+		t.Fatalf("compact did not shrink: %d -> %d", before.DenseBytes, after.DenseBytes)
+	}
+	if after.Compactions != before.Compactions+1 {
+		t.Fatalf("compactions %d -> %d", before.Compactions, after.Compactions)
+	}
+	if d.Len() != 10 {
+		t.Fatalf("len after compact=%d want 10", d.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if v, ok := d.Get(i); !ok || v != i*i {
+			t.Fatalf("get(%d) after compact", i)
+		}
+	}
+	d.Set(200, 1) // regrow after compact
+	if v, ok := d.Get(200); !ok || v != 1 {
+		t.Fatal("set after compact")
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatal("clear")
+	}
+	c.Range(func(int, int) bool { t.Fatal("range over cleared table"); return false })
+}
+
+func TestDenseBudget(t *testing.T) {
+	defer SetBudget(0)
+	SetBudget(1) // anything allocated is over budget
+	var d Dense[uint64]
+	d.Set(0, 7)
+	if !OverBudget() {
+		t.Fatal("expected over budget")
+	}
+	SetBudget(0)
+	if OverBudget() {
+		t.Fatal("budget 0 must mean unlimited")
+	}
+}

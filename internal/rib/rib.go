@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"crystalnet/internal/netpkt"
 	"crystalnet/internal/trie"
@@ -74,7 +75,8 @@ func (nh NextHop) String() string {
 }
 
 // Entry is one FIB entry. NextHops with more than one element form an ECMP
-// group.
+// group. NextHops may alias a canonical hop group shared with other entries
+// of the same table (see HopSetTable); treat the slice as immutable.
 type Entry struct {
 	Prefix   netpkt.Prefix
 	NextHops []NextHop
@@ -89,10 +91,12 @@ func (e *Entry) Clone() *Entry {
 }
 
 // canonicalize sorts next hops so entry comparison is order-insensitive.
-// ECMP groups are tiny (the fabric's multipath width), so a hand-rolled
-// insertion sort beats sort.Slice's closure machinery on the install path.
-func (e *Entry) canonicalize() {
-	nhs := e.NextHops
+func (e *Entry) canonicalize() { sortHops(e.NextHops) }
+
+// sortHops orders a hop group in place. ECMP groups are tiny (the fabric's
+// multipath width), so a hand-rolled insertion sort beats sort.Slice's
+// closure machinery on the install path.
+func sortHops(nhs []NextHop) {
 	for i := 1; i < len(nhs); i++ {
 		for j := i; j > 0 && nhLess(nhs[j], nhs[j-1]); j-- {
 			nhs[j], nhs[j-1] = nhs[j-1], nhs[j]
@@ -107,19 +111,110 @@ func nhLess(a, b NextHop) bool {
 	return a.Interface < b.Interface
 }
 
+// hopSharingOff disables the §10 FIB memory layout process-wide when set.
+// It exists for the §10 memory ablation only: the non-interned baseline
+// must reproduce the seed's layout — a private []NextHop per FIB entry,
+// and an LPM trie built eagerly at construction and maintained on every
+// install (rather than lazily on first query) — so the measured difference
+// covers the whole §10 memory model, not just attrs.
+var hopSharingOff atomic.Bool
+
+// SetHopSharing toggles the §10 FIB layout (hop-group interning plus the
+// lazy LPM trie; on by default). The §10 scale benchmark switches it
+// together with bgp.SetInterning; everything else should leave it alone.
+// Toggling only affects FIBs constructed and groups stored afterwards.
+func SetHopSharing(on bool) { hopSharingOff.Store(!on) }
+
+// HopSetTable interns next-hop groups: a fabric device forwards thousands of
+// prefixes over a handful of distinct ECMP groups (the up-fabric multipath
+// set, one single-hop group per down-link), so letting every entry alias one
+// canonical slice per distinct group removes the dominant per-prefix heap
+// cost of large FIBs (DESIGN.md §10). Canonical slices are immutable once
+// handed out. The zero value is ready to use.
+type HopSetTable struct {
+	m map[uint64][][]NextHop
+}
+
+// Canonical returns the canonical slice whose contents equal nhs (in order),
+// copying nhs into a new canonical group on first sight. nhs is not retained.
+// An empty group canonicalizes to nil.
+func (t *HopSetTable) Canonical(nhs []NextHop) []NextHop {
+	if len(nhs) == 0 {
+		return nil
+	}
+	h := hashHops(nhs)
+	for _, s := range t.m[h] {
+		if hopSlicesEqual(s, nhs) {
+			return s
+		}
+	}
+	c := append(make([]NextHop, 0, len(nhs)), nhs...)
+	if t.m == nil {
+		t.m = map[uint64][][]NextHop{}
+	}
+	t.m[h] = append(t.m[h], c)
+	return c
+}
+
+// hashHops is FNV-1a over the group's hop addresses and interface names.
+func hashHops(nhs []NextHop) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for _, nh := range nhs {
+		ip := uint32(nh.IP)
+		mix(byte(ip))
+		mix(byte(ip >> 8))
+		mix(byte(ip >> 16))
+		mix(byte(ip >> 24))
+		for i := 0; i < len(nh.Interface); i++ {
+			mix(nh.Interface[i])
+		}
+		mix(0xff) // group-element separator
+	}
+	return h
+}
+
+func hopSlicesEqual(a, b []NextHop) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // FIB is a device's forwarding table.
 type FIB struct {
+	// t is the longest-prefix-match trie, built lazily from byPrefix on the
+	// first LPM or ordered-walk operation (nil until then). A converging
+	// fabric performs millions of installs before the first data-plane
+	// query — and a control-plane-only workload like the §10 scale
+	// benchmark never queries at all — so the trie nodes are not paid for
+	// until something actually routes. Trie results are insertion-order
+	// independent (lookups return the longest match, walks visit in prefix
+	// order), so deferring the build never changes an answer.
 	t *trie.Trie[*Entry]
-	// byPrefix mirrors the trie's contents for exact-match operations: a
-	// map probe is several times cheaper than a trie descent, and during
-	// BGP path hunting the same prefix is reprogrammed many times before
-	// the table reaches steady state (see InstallHops).
+	// byPrefix is the authoritative table, keyed for exact-match
+	// operations: a map probe is several times cheaper than a trie
+	// descent, and during BGP path hunting the same prefix is reprogrammed
+	// many times before the table reaches steady state (see InstallHops).
 	byPrefix map[netpkt.Prefix]*Entry
 	// Capacity limits the number of entries; 0 means unlimited. When full,
 	// Install's behaviour depends on the device firmware — the FIB itself
 	// just reports ErrFull (the §2 load-balancer incident arises from a
 	// firmware that silently ignores this error).
 	Capacity int
+	// hopSets interns the distinct next-hop groups installed in this table
+	// so entries alias one canonical slice per group; scratch is the reusable
+	// sort buffer InstallHops canonicalizes into.
+	hopSets HopSetTable
+	scratch []NextHop
 }
 
 // ErrFull is returned by Install when the FIB is at capacity.
@@ -127,11 +222,29 @@ var ErrFull = fmt.Errorf("rib: FIB capacity exceeded")
 
 // NewFIB returns an empty forwarding table with unlimited capacity.
 func NewFIB() *FIB {
-	return &FIB{t: trie.New[*Entry](), byPrefix: map[netpkt.Prefix]*Entry{}}
+	f := &FIB{byPrefix: map[netpkt.Prefix]*Entry{}}
+	if hopSharingOff.Load() {
+		// §10 ablation: the seed built the trie up front and paid its nodes
+		// for every prefix whether or not anything routed; a non-nil t makes
+		// every install maintain it, reproducing that bill.
+		f.t = trie.New[*Entry]()
+	}
+	return f
+}
+
+// lpm returns the LPM trie, building it from byPrefix on first use.
+func (f *FIB) lpm() *trie.Trie[*Entry] {
+	if f.t == nil {
+		f.t = trie.New[*Entry]()
+		for p, e := range f.byPrefix {
+			f.t.Insert(p, e)
+		}
+	}
+	return f.t
 }
 
 // Len returns the number of installed prefixes.
-func (f *FIB) Len() int { return f.t.Len() }
+func (f *FIB) Len() int { return len(f.byPrefix) }
 
 // Install adds or replaces the entry for e.Prefix. Replacing never fails;
 // adding a new prefix to a full table returns ErrFull. The FIB owns e after
@@ -139,46 +252,68 @@ func (f *FIB) Len() int { return f.t.Len() }
 func (f *FIB) Install(e *Entry) error {
 	e.Prefix.Addr &= e.Prefix.MaskIP()
 	e.canonicalize()
-	if f.Capacity > 0 && f.t.Len() >= f.Capacity {
+	if f.Capacity > 0 && len(f.byPrefix) >= f.Capacity {
 		if _, exists := f.byPrefix[e.Prefix]; !exists {
 			return ErrFull
 		}
 	}
-	f.t.Insert(e.Prefix, e)
+	if f.t != nil {
+		f.t.Insert(e.Prefix, e)
+	}
 	f.byPrefix[e.Prefix] = e
 	return nil
 }
 
 // InstallHops adds or reprograms the route for p without the caller
-// allocating an Entry: when p is already installed the next hops are copied
-// into the existing entry in place — no allocation and no trie descent —
-// which is the dominant case while BGP hunts paths. nhs is not retained
-// or mutated.
+// allocating an Entry: the hops are sorted into a reusable scratch buffer
+// and the entry points at the table's canonical copy of that group — no
+// trie descent on reprogram (the dominant case while BGP hunts paths), and
+// no per-prefix hop storage once the group has been seen before. nhs is not
+// retained or mutated.
 func (f *FIB) InstallHops(p netpkt.Prefix, proto Proto, nhs []NextHop) error {
 	p.Addr &= p.MaskIP()
+	f.scratch = append(f.scratch[:0], nhs...)
+	sortHops(f.scratch)
 	if e, ok := f.byPrefix[p]; ok {
 		e.Proto = proto
-		e.NextHops = append(e.NextHops[:0], nhs...)
-		e.canonicalize()
+		e.NextHops = f.canonicalHops(f.scratch)
 		return nil
 	}
-	if f.Capacity > 0 && f.t.Len() >= f.Capacity {
+	if f.Capacity > 0 && len(f.byPrefix) >= f.Capacity {
 		return ErrFull
 	}
-	e := &Entry{Prefix: p, Proto: proto, NextHops: append([]NextHop(nil), nhs...)}
-	e.canonicalize()
-	f.t.Insert(p, e)
+	e := &Entry{Prefix: p, Proto: proto, NextHops: f.canonicalHops(f.scratch)}
+	if f.t != nil {
+		f.t.Insert(p, e)
+	}
 	f.byPrefix[p] = e
 	return nil
+}
+
+// canonicalHops returns the hop group to store for nhs: the table's shared
+// canonical slice when hop-set sharing is on (the default), or a fresh
+// per-entry copy when SetHopSharing has switched the process to the
+// baseline layout for the §10 memory ablation.
+func (f *FIB) canonicalHops(nhs []NextHop) []NextHop {
+	if hopSharingOff.Load() {
+		if len(nhs) == 0 {
+			return nil
+		}
+		return append(make([]NextHop, 0, len(nhs)), nhs...)
+	}
+	return f.hopSets.Canonical(nhs)
 }
 
 // Remove deletes the entry for p, reporting whether it was present.
 func (f *FIB) Remove(p netpkt.Prefix) bool {
 	p.Addr &= p.MaskIP()
-	if !f.t.Delete(p) {
+	if _, ok := f.byPrefix[p]; !ok {
 		return false
 	}
 	delete(f.byPrefix, p)
+	if f.t != nil {
+		f.t.Delete(p)
+	}
 	return true
 }
 
@@ -191,19 +326,19 @@ func (f *FIB) Get(p netpkt.Prefix) (*Entry, bool) {
 
 // Lookup performs longest-prefix match for ip.
 func (f *FIB) Lookup(ip netpkt.IP) (*Entry, bool) {
-	_, e, ok := f.t.Lookup(ip)
+	_, e, ok := f.lpm().Lookup(ip)
 	return e, ok
 }
 
 // Walk visits entries in ascending prefix order.
 func (f *FIB) Walk(fn func(*Entry) bool) {
-	f.t.Walk(func(_ netpkt.Prefix, e *Entry) bool { return fn(e) })
+	f.lpm().Walk(func(_ netpkt.Prefix, e *Entry) bool { return fn(e) })
 }
 
 // Snapshot returns a deep copy of all entries, sorted by prefix — the
 // payload of the paper's PullStates API.
 func (f *FIB) Snapshot() Snapshot {
-	out := make(Snapshot, 0, f.t.Len())
+	out := make(Snapshot, 0, len(f.byPrefix))
 	f.Walk(func(e *Entry) bool {
 		out = append(out, e.Clone())
 		return true
@@ -394,19 +529,21 @@ func nextHopsMatch(a, b []NextHop, mode CompareMode) bool {
 }
 
 // Clone returns a deep copy of the FIB for a forked emulation. Each entry
-// is copied exactly once and the copy is shared between the new trie and
-// its byPrefix mirror, preserving the aliasing invariant Install maintains
-// (InstallHops mutates the entry it finds in byPrefix and relies on the
-// trie seeing the change).
+// is copied exactly once; the clone's LPM trie is left unbuilt and
+// reassembles itself from the copied table on the fork's first data-plane
+// query (see FIB.t), which keeps forks cheap for rehearsals that never
+// inject traffic.
 func (f *FIB) Clone() *FIB {
 	c := &FIB{
 		byPrefix: make(map[netpkt.Prefix]*Entry, len(f.byPrefix)),
 		Capacity: f.Capacity,
 	}
-	c.t = f.t.Clone(func(p netpkt.Prefix, e *Entry) *Entry {
-		ce := e.Clone()
-		c.byPrefix[p] = ce
-		return ce
-	})
+	for p, e := range f.byPrefix {
+		// The entry struct is copied; its hop group is aliased. Stored hop
+		// groups are immutable — InstallHops replaces the slice wholesale,
+		// never edits it — so forks share them (same policy as the attrs).
+		ce := *e
+		c.byPrefix[p] = &ce
+	}
 	return c
 }

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestShardedRunIdenticalAcrossWorkers is the §10 scale-determinism bar:
+// one spec, sharded convergence, worker counts 1/2/4/GOMAXPROCS — every
+// report must be byte-identical to the workers=1 reference schedule.
+// scripts/check.sh runs this under -race, which also proves the parallel
+// domain drains share no unsynchronized state.
+func TestShardedRunIdenticalAcrossWorkers(t *testing.T) {
+	var want *Report
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		rep, err := Run(tinySpec(rehearsalSteps()...), Options{Shards: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !rep.Passed {
+			t.Fatalf("workers=%d run failed:\n%s", w, rep.JSON())
+		}
+		if want == nil {
+			want = rep
+			continue
+		}
+		if !bytes.Equal(rep.JSON(), want.JSON()) {
+			t.Fatalf("workers=%d report differs from workers=1 reference\ngot:\n%s\nwant:\n%s",
+				w, rep.JSON(), want.JSON())
+		}
+	}
+}
+
+// TestShardedForkMatchesFreshShardedRun extends the fork-equality contract
+// (TestForkedRunMatchesFreshRun) to sharded emulations: forking a
+// sharded-converged baseline and replaying the steps must reproduce a fresh
+// sharded run byte-for-byte — the domain engines' RNG streams and clocks
+// cross the checkpoint exactly.
+func TestShardedForkMatchesFreshShardedRun(t *testing.T) {
+	opts := Options{Shards: 2}
+	fresh, err := Run(tinySpec(rehearsalSteps()...), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.Passed {
+		t.Fatalf("fresh sharded run failed:\n%s", fresh.JSON())
+	}
+	conv, err := Converge(tinySpec(rehearsalSteps()...), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := conv.Run(tinySpec(rehearsalSteps()...), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh.JSON(), forked.JSON()) {
+		t.Fatalf("sharded fork differs from fresh sharded run\nfresh:\n%s\nforked:\n%s",
+			fresh.JSON(), forked.JSON())
+	}
+}

@@ -1,10 +1,13 @@
 #!/bin/sh
 # bench.sh — one-shot benchmark capture: runs the crystalbench experiment
-# suite (-quick -json) plus the Go micro-benchmarks for the hot packages,
-# and merges both into BENCH_<date>.json (gitignored) via cmd/benchjson.
+# suite (-quick -json), the §10 M-DC scale benchmark (interned vs baseline,
+# with closing runtime.MemStats), plus the Go micro-benchmarks for the hot
+# packages, and merges everything into BENCH_<date>.json (gitignored) via
+# cmd/benchjson.
 #
-#   scripts/bench.sh            # quick suite (~15 s)
-#   BENCH_FULL=1 scripts/bench.sh   # full Figure 8 sweep (minutes)
+#   scripts/bench.sh                 # quick suite + M-DC scale (~10 min)
+#   BENCH_NOSCALE=1 scripts/bench.sh # skip the M-DC scale run (~15 s)
+#   BENCH_FULL=1 scripts/bench.sh    # full Figure 8 sweep (minutes)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,10 +24,18 @@ else
     "$tmp/crystalbench" -quick -json >"$tmp/crystal.json"
 fi
 
+scale_args=""
+if [ "${BENCH_NOSCALE:-}" != "1" ]; then
+    echo "== crystalbench -scale mdc (wall-clock + peak heap/RSS, interned vs baseline)" >&2
+    "$tmp/crystalbench" -scale mdc -json -memstats "$tmp/memstats.json" >"$tmp/scale.json"
+    scale_args="-scale $tmp/scale.json -memstats $tmp/memstats.json"
+fi
+
 echo "== go micro-benchmarks" >&2
 go test -run '^$' -bench . -benchmem -benchtime 0.2s \
-    ./internal/trie/ ./internal/sim/ ./internal/bgp/ \
-    ./internal/dataplane/ ./internal/p4/ >"$tmp/micro.txt"
+    ./internal/trie/ ./internal/sim/ ./internal/bgp/ ./internal/rib/ \
+    ./internal/obs/ ./internal/dataplane/ ./internal/p4/ >"$tmp/micro.txt"
 
-go run ./cmd/benchjson -crystal "$tmp/crystal.json" <"$tmp/micro.txt" >"$out"
+# shellcheck disable=SC2086 # scale_args is intentionally word-split
+go run ./cmd/benchjson -crystal "$tmp/crystal.json" $scale_args <"$tmp/micro.txt" >"$out"
 echo "wrote $out" >&2

@@ -27,7 +27,10 @@ go test ./...
 
 echo "== go test -race (concurrency-touching packages)"
 go test -race ./internal/parallel/ ./internal/sim/ ./internal/experiments/ ./internal/checkpoint/ \
-    ./internal/obs/ ./internal/serve/
+    ./internal/obs/ ./internal/serve/ ./internal/bgp/ ./internal/rib/
+
+echo "== sealed-attrs immutability assertions (-tags crystaldebug)"
+go test -tags crystaldebug ./internal/bgp/
 
 echo "== concurrent-fork smoke under -race"
 go test -race ./internal/core/ -run 'TestCheckpoint|TestFork|TestClearAfterFork|TestConcurrentForks'
@@ -37,6 +40,10 @@ go test -race ./internal/scenario/ -run 'TestSmoke|TestChaosSerialParallelIdenti
 
 echo "== fork-determinism smoke under -race (fresh vs forked, byte-compare)"
 go test -race ./internal/scenario/ -run 'TestForkedRunMatchesFreshRun|TestChaosReuse'
+
+echo "== sharded-convergence determinism under -race (serial vs sharded, byte-compare)"
+go test -race ./internal/scenario/ -run 'TestSharded' -timeout 10m
+go test -race ./internal/sim/ -run 'TestShardSet' -timeout 10m
 
 echo "== trace-determinism smoke (same-seed traces byte-identical, incl. across a fork)"
 go test ./internal/scenario/ -run 'TestTraceDeterminism|TestTraceSurvivesFork|TestChaosTraceDeterminism'
@@ -85,5 +92,15 @@ daemon=
 
 echo "== docs gate (every package carries a doc comment linking the design docs)"
 go run ./cmd/doccheck
+
+# M-DC smoke: converge the 580-device fabric once, sharded, interned-only
+# (no baseline pass — that doubles the wall-clock and is a bench concern,
+# not a correctness gate). Skipped under SHORT=1 for quick iteration.
+if [ "${SHORT:-}" != "1" ]; then
+    echo "== M-DC smoke (crystalbench -scale mdc, sharded, bounded)"
+    timeout 600 go run ./cmd/crystalbench -scale mdc -shards 4 -nobaseline >/dev/null
+else
+    echo "== M-DC smoke skipped (SHORT=1)"
+fi
 
 echo "OK"
