@@ -44,7 +44,11 @@ type document struct {
 	// whole-fabric convergence results (wall-clock, peak/live heap, peak
 	// RSS, intern hit rate) for the interned pass and its non-interned
 	// baseline.
-	Scale      json.RawMessage `json:"scale,omitempty"`
+	Scale json.RawMessage `json:"scale,omitempty"`
+	// Traffic embeds crystalbench -traffic -json output: the traffic-plane
+	// benchmark (docs/TRAFFIC.md) — flow matrix size, per-settle wall-clock
+	// and the flows-settled/s rate.
+	Traffic    json.RawMessage `json:"traffic,omitempty"`
 	Benchmarks []microBench    `json:"benchmarks"`
 }
 
@@ -67,6 +71,7 @@ func main() {
 	loadtest := flag.String("loadtest", "", "path to crystalload output to embed")
 	memstats := flag.String("memstats", "", "path to crystalbench -memstats output to embed")
 	scale := flag.String("scale", "", "path to crystalbench -scale -json output to embed")
+	trafficPath := flag.String("traffic", "", "path to crystalbench -traffic -json output to embed")
 	flag.Parse()
 
 	doc := document{
@@ -85,6 +90,9 @@ func main() {
 	}
 	if *scale != "" {
 		doc.Scale = embedJSON(*scale)
+	}
+	if *trafficPath != "" {
+		doc.Traffic = embedJSON(*trafficPath)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)

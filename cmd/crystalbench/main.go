@@ -6,8 +6,8 @@
 //
 //	crystalbench [-reps N] [-ldcscale N] [-quick] [-workers N]
 //	             [-only table1,figure8,...] [-scale sdc|mdc|ldcdiv] [-shards N]
-//	             [-nobaseline] [-json] [-trace FILE] [-memstats FILE]
-//	             [-cpuprofile FILE] [-memprofile FILE]
+//	             [-traffic N] [-nobaseline] [-json] [-trace FILE]
+//	             [-memstats FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -quick runs a reduced sweep (fewer repetitions, no M-DC/L-DC in the
 // latency figures). -ldcscale divides L-DC's pod count; 1 attempts the full
@@ -24,6 +24,11 @@
 // -memstats writes the process's closing runtime.MemStats
 // (HeapAlloc/TotalAlloc/HeapSys/NumGC) as JSON for benchjson -memstats to
 // embed.
+//
+// -traffic N runs the traffic-plane benchmark (docs/TRAFFIC.md): converge
+// the -scale fabric (default sdc), attach an N-flow matrix and time
+// re-settles, reporting flows-settled/s. benchjson -traffic embeds the
+// -json form.
 //
 // -cpuprofile / -memprofile write pprof profiles covering
 // the selected experiments, so perf work is reproducible without editing
@@ -94,6 +99,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the runs) to `file`")
 	traceOut := flag.String("trace", "", "run one traced S-DC mockup cycle and write a Chrome trace_event file to `file`")
 	scale := flag.String("scale", "", "run the §10 scale benchmark on one fabric: sdc, mdc, or ldcdiv (L-DC at the -ldcscale divisor)")
+	trafficFlows := flag.Uint64("traffic", 0, "run the traffic-plane benchmark with this many flows on the -scale fabric (default sdc); reports flows-settled/s")
 	shards := flag.Int("shards", 0, "worker count for sharded convergence in -scale (0 = classic single engine)")
 	noBaseline := flag.Bool("nobaseline", false, "skip the non-interned baseline pass in -scale (halves the wall-clock; for smoke tests)")
 	memStats := flag.String("memstats", "", "write closing runtime.MemStats as JSON to `file` (for benchjson -memstats)")
@@ -123,7 +129,7 @@ func main() {
 	// bounded, single-fabric measurement (scripts/check.sh smokes M-DC with
 	// it under a timeout).
 	run := func(key string) bool {
-		if *scale != "" && len(want) == 0 {
+		if (*scale != "" || *trafficFlows > 0) && len(want) == 0 {
 			return false
 		}
 		return len(want) == 0 || want[key]
@@ -158,6 +164,23 @@ func main() {
 		rs := experiments.Scale(experiments.ScaleConfig{Spec: spec, Shards: *shards, Baseline: !*noBaseline})
 		emit("scale", fmt.Sprintf("§10 scale benchmark — %s wall-clock and memory (interned vs baseline)", spec.Name),
 			experiments.FormatScale(rs), rs)
+	}
+	if *trafficFlows > 0 {
+		// The traffic benchmark reuses -scale's fabric selection; without
+		// -scale it measures S-DC, the fabric docs/TRAFFIC.md quotes.
+		spec := topo.SDC()
+		switch *scale {
+		case "", "sdc":
+		case "mdc":
+			spec = topo.MDC()
+		case "ldcdiv":
+			spec = topo.LDCScaled(*ldcScale)
+		}
+		r := experiments.Traffic(experiments.TrafficConfig{
+			Spec: spec, Flows: *trafficFlows, Shards: *shards,
+		})
+		emit("traffic", fmt.Sprintf("traffic-plane benchmark — %d flows re-settled on %s", r.Flows, spec.Name),
+			experiments.FormatTraffic(r), r)
 	}
 	if run("table1") {
 		rows := experiments.Table1()

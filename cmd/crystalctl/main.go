@@ -17,6 +17,10 @@
 //	trace [-out FILE] [<device> <ip>]
 //	                          mock up under the Monitor-plane tracer; optionally
 //	                          inject a probe; write a Perfetto-loadable trace
+//	traffic [-flows N] [-json]
+//	                          mock up, attach a flow-level traffic matrix
+//	                          (docs/TRAFFIC.md), settle it against the converged
+//	                          FIBs and print per-class delivery accounting
 //	run-scenario <file.json>  execute a rehearsal spec, print its JSON report
 //	chaos [file.json]         run a chaos campaign from a base spec (default: sdc)
 //	rehearse -server ADDR <file.json>
@@ -49,6 +53,7 @@ import (
 	"crystalnet"
 	"crystalnet/internal/scenario"
 	"crystalnet/internal/topo"
+	"crystalnet/internal/traffic"
 )
 
 func usage() {
@@ -63,6 +68,11 @@ Commands:
                             mock up under the Monitor-plane tracer, optionally
                             inject a probe packet, and write a Chrome trace
                             file that opens in Perfetto (ui.perfetto.dev)
+  traffic [-flows N] [-json]
+                            mock up, attach a flow-level traffic matrix and
+                            settle it against the converged FIBs; prints
+                            per-class delivery/loss/black-hole accounting
+                            (docs/TRAFFIC.md)
   run-scenario <file.json>  execute a rehearsal spec, print its JSON report
                             (exits 1 if the scenario fails)
   rehearse -server ADDR <file.json>
@@ -96,6 +106,10 @@ var subUsage = map[string]string{
   also inject a probe packet and print its reconstructed path. -out
   writes the Chrome trace_event file (open in Perfetto); the global
   -trace/-tracejson/-obs flags work here too.`,
+	"traffic": `crystalctl [flags] traffic [-flows N] [-json]
+  Mock up the fabric, attach a flow-level traffic matrix seeded from
+  -seed, settle it against the converged FIBs and print per-class
+  delivery accounting. -json prints the traffic.Report JSON instead.`,
 	"run-scenario": `crystalctl [flags] run-scenario <file.json>
   Execute a rehearsal spec and print its JSON report. Exits 1 if the
   scenario fails.`,
@@ -177,6 +191,21 @@ func main() {
 		os.Exit(rehearseRemote(*server, *tenant, args[0]))
 	}
 
+	// The traffic subcommand takes its own flag set: crystalctl traffic
+	// -flows 1000000 -json.
+	trafficFlows := uint64(1_000_000)
+	trafficJSON := false
+	if cmd == "traffic" {
+		fs := flag.NewFlagSet("traffic", flag.ExitOnError)
+		flows := fs.Uint64("flows", 1_000_000, "modeled flow count")
+		jsonOut := fs.Bool("json", false, "print the traffic report as JSON")
+		fs.Usage = func() { need("traffic", false) }
+		fs.Parse(args)
+		args = fs.Args()
+		need("traffic", len(args) == 0)
+		trafficFlows, trafficJSON = *flows, *jsonOut
+	}
+
 	// The trace subcommand takes its own flag set: crystalctl trace -out
 	// mockup.trace [<device> <ip>].
 	if cmd == "trace" {
@@ -195,7 +224,7 @@ func main() {
 	// emulation work, so a typo fails in milliseconds with the right usage
 	// text.
 	switch cmd {
-	case "plan", "mockup", "trace", "chaos":
+	case "plan", "mockup", "trace", "chaos", "traffic":
 	case "fibs":
 		need(cmd, len(args) >= 1)
 	case "exec":
@@ -361,6 +390,26 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(out)
+	case "traffic":
+		if err := em.AttachTraffic(traffic.Spec{Flows: trafficFlows, Seed: *seed}); err != nil {
+			log.Fatal(err)
+		}
+		rep := em.Traffic().Report()
+		if trafficJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+			break
+		}
+		fmt.Printf("traffic: %d flows in %d aggregates settled\n", rep.Flows, rep.Aggregates)
+		fmt.Printf("%-14s %12s %12s %12s %12s %10s\n",
+			"class", "flows", "delivered", "blackholed", "lost", "avg-hops")
+		for _, c := range rep.Classes {
+			fmt.Printf("%-14s %12d %12d %12d %12d %10.2f\n",
+				c.Class, c.Flows, c.Delivered, c.Blackholed, c.Lost, c.AvgPathHops)
+		}
 	case "trace":
 		if len(args) == 2 {
 			from := args[0]

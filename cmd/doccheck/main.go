@@ -1,11 +1,20 @@
 // Command doccheck is the repository's documentation gate: it walks every
 // package under internal/ (plus the facade and cmd/) and fails if any
 // package lacks a package-level doc comment, or if an internal package's
-// doc comment never points the reader at the design documentation
-// (DESIGN.md or docs/). It also cross-checks docs/API.md against the
-// daemon's route table (internal/serve.Routes) so an endpoint cannot
-// ship undocumented. scripts/check.sh runs it, so an undocumented
-// package fails verification the same way a broken test does.
+// doc comment never links a DESIGN.md section. Section references must
+// resolve: "DESIGN.md §10" fails if DESIGN.md has no "## 10." heading, and
+// the quoted form (DESIGN.md §"Rehearsal service") must match a heading
+// title, so renumbering DESIGN.md breaks the gate instead of silently
+// stranding the pointers. Any docs/<FILE>.md a package doc mentions must
+// exist on disk.
+//
+// It also cross-checks the prose docs against the code's registries:
+// docs/API.md must mention every route the daemon serves
+// (internal/serve.Routes), and docs/OBSERVABILITY.md must list every
+// metric name registered anywhere under internal/ (every string literal
+// passed to a Counter/Gauge/Histogram constructor), so a new metric cannot
+// ship undocumented. scripts/check.sh runs it, so documentation drift
+// fails verification the same way a broken test does.
 //
 // Usage:
 //
@@ -17,10 +26,12 @@ package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
 	"strings"
 
@@ -43,6 +54,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	sections, err := designSections(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+
 	var problems []string
 	for _, dir := range dirs {
 		doc, err := packageDoc(dir)
@@ -56,14 +73,16 @@ func main() {
 			continue
 		}
 		// Internal packages carry the architecture: their doc comments must
-		// route the reader to the design docs.
-		if strings.HasPrefix(rel, "internal"+string(filepath.Separator)) &&
-			!strings.Contains(doc, "DESIGN.md") && !strings.Contains(doc, "docs/") {
-			problems = append(problems, fmt.Sprintf("%s: package doc does not reference DESIGN.md or docs/", rel))
+		// route the reader to a real DESIGN.md section, and any docs/ file
+		// they mention must exist.
+		if strings.HasPrefix(rel, "internal"+string(filepath.Separator)) {
+			problems = append(problems, sectionProblems(rel, doc, sections)...)
+			problems = append(problems, docsFileProblems(root, rel, doc)...)
 		}
 	}
 
 	problems = append(problems, apiDocProblems(root)...)
+	problems = append(problems, metricDocProblems(root)...)
 
 	if len(problems) > 0 {
 		sort.Strings(problems)
@@ -72,8 +91,79 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("doccheck: %d packages documented, %d API routes covered\n",
-		len(dirs), len(serve.Routes))
+	metrics, _ := registeredMetrics(filepath.Join(root, "internal"))
+	fmt.Printf("doccheck: %d packages documented, %d API routes covered, %d metrics listed\n",
+		len(dirs), len(serve.Routes), len(metrics))
+}
+
+// sectionRef matches the two DESIGN.md section-reference forms package
+// docs use: "DESIGN.md §10" and `DESIGN.md §"Rehearsal service"`.
+var sectionRef = regexp.MustCompile(`DESIGN\.md §(?:(\d+)|"([^"]+)")`)
+
+// designSections parses DESIGN.md's "## N. Title" headings into a
+// number → title map.
+func designSections(root string) (map[string]string, error) {
+	raw, err := os.ReadFile(filepath.Join(root, "DESIGN.md"))
+	if err != nil {
+		return nil, err
+	}
+	heading := regexp.MustCompile(`(?m)^## (\d+)\.\s+(.+)$`)
+	sections := map[string]string{}
+	for _, m := range heading.FindAllStringSubmatch(string(raw), -1) {
+		sections[m[1]] = strings.TrimSpace(m[2])
+	}
+	return sections, nil
+}
+
+// sectionProblems verifies a package doc references at least one DESIGN.md
+// section and that every reference resolves against the current headings.
+func sectionProblems(rel, doc string, sections map[string]string) []string {
+	var problems []string
+	refs := sectionRef.FindAllStringSubmatch(doc, -1)
+	if len(refs) == 0 {
+		return []string{fmt.Sprintf("%s: package doc does not link a DESIGN.md section (want e.g. `DESIGN.md §10`)", rel)}
+	}
+	for _, ref := range refs {
+		if num := ref[1]; num != "" {
+			if _, ok := sections[num]; !ok {
+				problems = append(problems,
+					fmt.Sprintf("%s: package doc links DESIGN.md §%s, which has no `## %s.` heading", rel, num, num))
+			}
+			continue
+		}
+		title, found := ref[2], false
+		for _, t := range sections {
+			if strings.Contains(t, title) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems,
+				fmt.Sprintf("%s: package doc links DESIGN.md §%q, which matches no heading title", rel, title))
+		}
+	}
+	return problems
+}
+
+// docsFileRef matches docs/<FILE>.md mentions in package docs.
+var docsFileRef = regexp.MustCompile(`docs/([A-Za-z0-9_.-]+\.md)`)
+
+// docsFileProblems verifies every docs/ file a package doc mentions exists.
+func docsFileProblems(root, rel, doc string) []string {
+	var problems []string
+	seen := map[string]bool{}
+	for _, m := range docsFileRef.FindAllStringSubmatch(doc, -1) {
+		if seen[m[1]] {
+			continue
+		}
+		seen[m[1]] = true
+		if _, err := os.Stat(filepath.Join(root, "docs", m[1])); err != nil {
+			problems = append(problems,
+				fmt.Sprintf("%s: package doc references docs/%s, which does not exist", rel, m[1]))
+		}
+	}
+	return problems
 }
 
 // apiDocProblems verifies that docs/API.md exists and mentions every
@@ -92,6 +182,90 @@ func apiDocProblems(root string) []string {
 		}
 	}
 	return problems
+}
+
+// metricDocProblems scans every non-test file under internal/ for metric
+// registrations — string literals passed as the first argument to a
+// Counter/Gauge/Histogram constructor (or the lowercase vendoring helpers
+// some packages wrap them in) — and requires docs/OBSERVABILITY.md to
+// mention each name.
+func metricDocProblems(root string) []string {
+	names, err := registeredMetrics(filepath.Join(root, "internal"))
+	if err != nil {
+		return []string{fmt.Sprintf("metric scan: %v", err)}
+	}
+	raw, err := os.ReadFile(filepath.Join(root, "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		return []string{fmt.Sprintf("docs/OBSERVABILITY.md: %v", err)}
+	}
+	var problems []string
+	for _, name := range names {
+		if !strings.Contains(string(raw), "`"+name+"`") {
+			problems = append(problems,
+				fmt.Sprintf("docs/OBSERVABILITY.md: metric %s is registered in code but not listed", name))
+		}
+	}
+	return problems
+}
+
+// registeredMetrics returns the sorted, deduplicated metric names
+// registered under dir. internal/obs itself is skipped: it defines the
+// constructors, and its docs describe the registry, not specific metrics.
+func registeredMetrics(dir string) ([]string, error) {
+	seen := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "obs" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			var fn string
+			switch e := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				fn = e.Sel.Name
+			case *ast.Ident:
+				fn = e.Name
+			default:
+				return true
+			}
+			switch fn {
+			case "Counter", "Gauge", "Histogram", "counter", "gauge", "histogram":
+			default:
+				return true
+			}
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				seen[strings.Trim(lit.Value, `"`)] = true
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // packageDirs lists every directory under root that contains non-test Go

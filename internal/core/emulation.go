@@ -19,6 +19,7 @@ import (
 	"crystalnet/internal/speaker"
 	"crystalnet/internal/telemetry"
 	"crystalnet/internal/topo"
+	"crystalnet/internal/traffic"
 )
 
 // Per-VM Clear cost model (§8.2: clear latency under 2 minutes).
@@ -84,6 +85,11 @@ type Emulation struct {
 	// repeated RunUntilConverged calls (and forks of a traced parent) do
 	// not duplicate them.
 	phasesTraced bool
+
+	// traffic, when non-nil, is the attached flow-level load matrix
+	// (AttachTraffic); it is re-settled at every convergence point and
+	// deep-copied across Fork so warm-pool rehearsals carry their load.
+	traffic *traffic.Matrix
 
 	vmsPending    int
 	buildsPending int
@@ -322,6 +328,7 @@ func (em *Emulation) RunUntilConverged(maxEvents uint64) (Metrics, error) {
 	}
 	em.tracePhases()
 	em.recordScaleStats()
+	em.settleTraffic()
 	return em.Metrics(), nil
 }
 

@@ -114,6 +114,9 @@ func (o *Orchestrator) Fork(snap *checkpoint.Snapshot) (*Emulation, error) {
 		recoveries:   checkpoint.CloneSlice(parent.recoveries),
 		degraded:     checkpoint.CloneSlice(parent.degraded),
 		phasesTraced: parent.phasesTraced,
+		// The traffic matrix is all value-typed state, so the fork's copy
+		// settles exactly as a fresh same-seed run would from here.
+		traffic: parent.traffic.Fork(),
 
 		// Quiescence guarantees no recovery episode is in flight (a pending
 		// reboot or rebuild would be a queued event), so recovering starts

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"crystalnet/internal/config"
+	"crystalnet/internal/dataplane"
+	"crystalnet/internal/traffic"
+)
+
+// AttachTraffic builds a traffic matrix from the spec against the
+// emulation's current configurations and settles it once at the current
+// state. From then on every convergence drive re-settles it, so the
+// matrix's accounting samples user impact at each convergence point.
+// Attaching replaces any previous matrix.
+func (em *Emulation) AttachTraffic(spec traffic.Spec) error {
+	m, err := traffic.NewMatrix(spec, em.liveConfigs())
+	if err != nil {
+		return err
+	}
+	em.traffic = m
+	em.settleTraffic()
+	return nil
+}
+
+// Traffic returns the attached traffic matrix (nil when none is attached).
+func (em *Emulation) Traffic() *traffic.Matrix { return em.traffic }
+
+// SettleTraffic forces one settle of the attached matrix at the current
+// state. Convergence drives settle automatically; this hook exists for the
+// traffic benchmark and crystalctl, which measure settles in isolation.
+func (em *Emulation) SettleTraffic() { em.settleTraffic() }
+
+// settleTraffic re-walks the attached matrix against the live FIBs. It
+// runs outside the event queue — no events scheduled, no randomness drawn
+// — so it never perturbs convergence order and the emulation stays
+// checkpointable right after.
+func (em *Emulation) settleTraffic() {
+	if em.traffic == nil || em.cleared {
+		return
+	}
+	em.traffic.Settle(traffic.View{
+		Now: em.orch.Eng.Now(),
+		Rec: em.orch.Eng.Recorder(),
+		Forwarder: func(name string) *dataplane.Forwarder {
+			if d := em.Devices[name]; d != nil {
+				return d.Forwarder()
+			}
+			return nil
+		},
+		Configs: em.liveConfigs(),
+	})
+}
+
+// liveConfigs returns the active per-device configurations. The prepared
+// snapshot goes stale after reload-config and attach-device, so traffic
+// walks (like the scenario layer's reachability sweeps) resolve against
+// what each device is running now.
+func (em *Emulation) liveConfigs() map[string]*config.DeviceConfig {
+	cfgs := make(map[string]*config.DeviceConfig, len(em.Devices))
+	for name, c := range em.prep.Configs {
+		cfgs[name] = c
+	}
+	for name, d := range em.Devices {
+		if c := d.Config(); c != nil {
+			cfgs[name] = c
+		}
+	}
+	return cfgs
+}

@@ -196,6 +196,104 @@ func (f *Forwarder) Forward(ingress string, m *PacketMeta) Decision {
 	return Decision{Verdict: VerdictForward, NextHop: nh.IP, Egress: nh.Interface, Entry: entry}
 }
 
+// FlowShare is one slice of a batched forwarding split: Flows flows of an
+// aggregate leaving via Hop. A Denied share was stopped by the egress ACL
+// named in ACL instead of leaving.
+type FlowShare struct {
+	Hop    rib.NextHop
+	Flows  uint64
+	Denied bool
+	ACL    string
+}
+
+// DeniesIngress evaluates the ingress ACL bound to iface against m,
+// returning the denying ACL's name. The traffic walk uses it to apply
+// ingress ACLs before its destination-delivery short-circuit, preserving
+// the Forward prologue's evaluation order.
+func (f *Forwarder) DeniesIngress(iface string, m *PacketMeta) (string, bool) {
+	if iface == "" {
+		return "", false
+	}
+	if acl := f.inACL[iface]; acl.Eval(m) == ACLDeny {
+		return acl.Name, true
+	}
+	return "", false
+}
+
+// ForwardBatch evaluates an aggregate of n flows that share the 5-tuple
+// shape m (the flow-class representative) arriving on ingress. It is the
+// batched form of Forward the traffic plane uses: one LPM per aggregate
+// instead of one per flow, and instead of hashing one 5-tuple to one ECMP
+// bucket it spreads the n flows across the matched entry's whole hop group
+// with SpreadFlows keyed by key (the aggregate's seeded identity). Egress
+// ACLs are evaluated per share, so a deny on one ECMP branch loses only
+// that branch's flows. Non-forward verdicts apply to the whole aggregate
+// and return nil shares.
+func (f *Forwarder) ForwardBatch(ingress string, m *PacketMeta, n uint64, key uint64) (Decision, []FlowShare) {
+	if ingress != "" {
+		if acl := f.inACL[ingress]; acl.Eval(m) == ACLDeny {
+			return Decision{Verdict: VerdictACLDenied, ACL: acl.Name}, nil
+		}
+	}
+	if f.local[m.Dst] {
+		return Decision{Verdict: VerdictLocal}, nil
+	}
+	if m.TTL <= 1 {
+		return Decision{Verdict: VerdictTTLExpired}, nil
+	}
+	entry, ok := f.fib.Lookup(m.Dst)
+	if !ok || len(entry.NextHops) == 0 {
+		return Decision{Verdict: VerdictNoRoute}, nil
+	}
+	counts := SpreadFlows(key, entry.NextHops, n)
+	shares := make([]FlowShare, 0, len(entry.NextHops))
+	for i, nh := range entry.NextHops {
+		if counts[i] == 0 {
+			continue
+		}
+		s := FlowShare{Hop: nh, Flows: counts[i]}
+		if acl := f.outACL[nh.Interface]; acl.Eval(m) == ACLDeny {
+			s.Denied, s.ACL = true, acl.Name
+		}
+		shares = append(shares, s)
+	}
+	return Decision{Verdict: VerdictForward, Entry: entry}, shares
+}
+
+// SpreadFlows deterministically spreads n flows across a hop group's
+// buckets: every bucket gets n/k, and the n%k remainder lands on a rotation
+// anchored by mixing the aggregate key with rib.HashHops over the group's
+// *content*. Hashing values rather than the slice identity keeps the split
+// byte-identical whether hop groups are interned or private
+// (rib.SetHopSharing ablation), and any FIB reprogram that changes the
+// group re-anchors the rotation — flows visibly re-spread, as real ECMP
+// rehashing does.
+func SpreadFlows(key uint64, nhs []rib.NextHop, n uint64) []uint64 {
+	k := uint64(len(nhs))
+	counts := make([]uint64, k)
+	if k == 0 || n == 0 {
+		return counts
+	}
+	base, rem := n/k, n%k
+	for i := range counts {
+		counts[i] = base
+	}
+	if rem > 0 {
+		// splitmix64 finalizer over (key ⊕ group content) anchors the rotation.
+		x := key ^ rib.HashHops(nhs)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		start := x % k
+		for i := uint64(0); i < rem; i++ {
+			counts[(start+i)%k]++
+		}
+	}
+	return counts
+}
+
 // ecmpIndex hashes the 5-tuple to pick one of n next hops. The hash is
 // deterministic per (device seed, flow), so a flow always takes one path —
 // matching real ECMP.

@@ -243,6 +243,11 @@ func (d *Device) Config() *config.DeviceConfig { return d.cfg }
 // FIB returns the device's forwarding table (nil until running).
 func (d *Device) FIB() *rib.FIB { return d.fib }
 
+// Forwarder returns the device's live forwarding engine (nil until running,
+// and nil again after Stop/Crash). The traffic plane settles flow
+// aggregates against it directly — a stopped device blackholes its flows.
+func (d *Device) Forwarder() *dataplane.Forwarder { return d.fwd }
+
 // BGP returns the device's BGP router (nil until running).
 func (d *Device) BGP() *bgp.Router { return d.bgp }
 

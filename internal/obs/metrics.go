@@ -138,6 +138,28 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 }
 
+// ObserveN records n identical observations in one update — the bulk form
+// the traffic plane uses to account millions of modeled flows per settle
+// without a per-flow loop. Equivalent to calling Observe(v) n times.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.bucket[i] += n
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count += n
+	h.sum += v * float64(n)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

@@ -156,6 +156,14 @@ func (t *HopSetTable) Canonical(nhs []NextHop) []NextHop {
 	return c
 }
 
+// HashHops is FNV-1a over a hop group's addresses and interface names —
+// the content hash the HopSetTable interns groups by. It is exported for
+// the traffic plane's ECMP hash-bucket spreading (internal/dataplane
+// SpreadFlows): keying bucket assignment on the group's *values* keeps the
+// spread identical whether or not the group is interned (SetHopSharing),
+// and makes flows re-spread when a FIB reprogram changes the group.
+func HashHops(nhs []NextHop) uint64 { return hashHops(nhs) }
+
 // hashHops is FNV-1a over the group's hop addresses and interface names.
 func hashHops(nhs []NextHop) uint64 {
 	h := uint64(14695981039346656037)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"crystalnet/internal/obs"
+	"crystalnet/internal/traffic"
 )
 
 // Check is the outcome of one assertion — a step's own assert or one
@@ -54,7 +55,11 @@ type Report struct {
 	// VirtualDuration is total virtual time from mockup to the last step.
 	VirtualDuration string       `json:"virtualDuration"`
 	Steps           []StepResult `json:"steps"`
-	Passed          bool         `json:"passed"`
+	// Traffic is the per-class flow accounting at the run's last settle,
+	// present when the run attached a traffic matrix (spec traffic or an
+	// inject-traffic step).
+	Traffic *traffic.Report `json:"traffic,omitempty"`
+	Passed  bool            `json:"passed"`
 	// Alerts are the §6.2 health-monitor alerts raised during the run.
 	Alerts []string `json:"alerts,omitempty"`
 	// Degraded lists recovery episodes that were abandoned (deadline

@@ -18,6 +18,7 @@ import (
 	"crystalnet/internal/rib"
 	"crystalnet/internal/telemetry"
 	"crystalnet/internal/topo"
+	"crystalnet/internal/traffic"
 	"crystalnet/internal/vendors"
 )
 
@@ -173,6 +174,7 @@ func (r *runner) drive() (*Report, error) {
 	}
 
 	r.report.VirtualDuration = r.orch.Eng.Now().Sub(r.em.MockupStart).String()
+	r.report.Traffic = r.em.Traffic().Report()
 	r.report.Alerts = append([]string(nil), r.em.Alerts...)
 	r.report.Degraded = append([]string(nil), r.em.Degraded()...)
 	r.report.PendingFaults = r.em.FaultsPending()
@@ -294,6 +296,15 @@ func (r *runner) mockup(seed int64) error {
 		r.origConfigs[name] = d.Config().Clone()
 	}
 	r.baselines[DefaultBaseline] = em.Save()
+
+	// Attach the spec's traffic matrix at the converged baseline, before
+	// the first invariant sweep: assert-flow-slo invariants see settled
+	// traffic from convergence point zero onward.
+	if r.sp.Traffic != nil {
+		if err := r.attachTraffic(r.sp.Traffic, seed); err != nil {
+			return fmt.Errorf("scenario %s: traffic: %w", r.sp.Name, err)
+		}
+	}
 
 	res.End = r.orch.Eng.Now().String()
 	res.VirtualLatency = metrics.Mockup.String()
@@ -474,9 +485,29 @@ func (r *runner) step(st *Step, res *StepResult) {
 		r.baselines[name] = r.em.Save()
 		res.Detail = fmt.Sprintf("saved baseline %q", name)
 
+	case OpInjectTraffic:
+		if err := r.attachTraffic(st.Traffic, r.report.Seed); err != nil {
+			fail("%v", err)
+			return
+		}
+		m := r.em.Traffic()
+		res.Detail = fmt.Sprintf("%d flows in %d aggregates settled", m.Flows(), m.Aggregates())
+
 	default:
 		fail("unknown op %q", st.Op)
 	}
+}
+
+// attachTraffic attaches a flow matrix to the emulation, defaulting its
+// seed to the run seed so an unseeded traffic block still yields the
+// deterministic, campaign-reproducible placement the report contract
+// promises.
+func (r *runner) attachTraffic(spec *traffic.Spec, seed int64) error {
+	sp := *spec.Clone()
+	if sp.Seed == 0 {
+		sp.Seed = seed
+	}
+	return r.em.AttachTraffic(sp)
 }
 
 // attachDevice grows the topology and the running emulation (the new-rack
@@ -720,6 +751,27 @@ func (r *runner) check(st *Step) Check {
 			fail("%s state %s, want %s", st.Device, got, st.State)
 		} else {
 			c.Detail = fmt.Sprintf("%s is %s", st.Device, st.State)
+		}
+
+	case OpAssertFlowSLO:
+		m := r.em.Traffic()
+		if m == nil || m.Settles() == 0 {
+			fail("no traffic attached (spec traffic or inject-traffic first)")
+			return c
+		}
+		slo := m.SLO(st.Window.Std())
+		var bad []string
+		if st.MaxBlackholedPct != nil && slo.BlackholedPct > *st.MaxBlackholedPct {
+			bad = append(bad, fmt.Sprintf("blackholed %.3f%% > %.3f%%", slo.BlackholedPct, *st.MaxBlackholedPct))
+		}
+		if st.MaxLostPct != nil && slo.LostPct > *st.MaxLostPct {
+			bad = append(bad, fmt.Sprintf("lost %.3f%% > %.3f%%", slo.LostPct, *st.MaxLostPct))
+		}
+		if len(bad) > 0 {
+			fail("flow SLO violated (window %s): %s", st.Window.Std(), strings.Join(bad, ", "))
+		} else {
+			c.Detail = fmt.Sprintf("blackholed %.3f%%, lost %.3f%% within SLO (window %s)",
+				slo.BlackholedPct, slo.LostPct, st.Window.Std())
 		}
 
 	default:

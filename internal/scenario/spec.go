@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"crystalnet/internal/topo"
+	"crystalnet/internal/traffic"
 )
 
 // Step operations. The non-assert ops cover the core.Emulation control API
@@ -39,6 +40,7 @@ const (
 	OpWaitConverge    = "wait-converge"
 	OpSleep           = "sleep"
 	OpSaveBaseline    = "save-baseline"
+	OpInjectTraffic   = "inject-traffic"
 
 	OpAssertReachable       = "assert-reachable"
 	OpAssertFIBDiff         = "assert-fib-diff"
@@ -48,6 +50,7 @@ const (
 	OpAssertSessions        = "assert-sessions"
 	OpAssertFIBLookup       = "assert-fib-lookup"
 	OpAssertDeviceState     = "assert-device-state"
+	OpAssertFlowSLO         = "assert-flow-slo"
 )
 
 // DefaultBaseline is the snapshot the runner saves automatically after the
@@ -199,6 +202,14 @@ type Step struct {
 	IP          string   `json:"ip,omitempty"`          // assert-fib-lookup target
 	State       string   `json:"state,omitempty"`       // assert-device-state expected state
 	Recoveries  int      `json:"recoveries,omitempty"`  // assert-recovered-within min count
+
+	// inject-traffic: the flow matrix to attach mid-run.
+	Traffic *traffic.Spec `json:"traffic,omitempty"`
+	// assert-flow-slo bounds. Window tolerates black-holes shorter than it
+	// (transient convergence loss); zero means any black-hole counts.
+	MaxBlackholedPct *float64 `json:"maxBlackholedPct,omitempty"`
+	MaxLostPct       *float64 `json:"maxLostPct,omitempty"`
+	Window           Duration `json:"window,omitempty"`
 }
 
 // Spec is one declarative rehearsal: fabric, emulation scope, steps and
@@ -222,6 +233,13 @@ type Spec struct {
 	// and after every wait-converge step — the continuous checking layer.
 	Invariants []Step `json:"invariants,omitempty"`
 
+	// Traffic, when set, attaches a flow-level load matrix right after the
+	// initial convergence, before the first invariant sweep — every
+	// wait-converge then re-settles it and assert-flow-slo invariants
+	// measure user impact continuously. A zero traffic seed inherits the
+	// run seed.
+	Traffic *traffic.Spec `json:"traffic,omitempty"`
+
 	Steps []Step `json:"steps"`
 }
 
@@ -235,6 +253,7 @@ var assertOps = map[string]bool{
 	OpAssertSessions:        true,
 	OpAssertFIBLookup:       true,
 	OpAssertDeviceState:     true,
+	OpAssertFlowSLO:         true,
 }
 
 // IsAssert reports whether the step is an assertion (usable as invariant).
@@ -279,6 +298,24 @@ func (s *Step) Validate() error {
 		}
 	case OpWaitConverge, OpSaveBaseline:
 		// No required fields.
+	case OpInjectTraffic:
+		if s.Traffic == nil {
+			return fmt.Errorf("inject-traffic needs traffic")
+		}
+		if err := s.Traffic.Validate(); err != nil {
+			return err
+		}
+	case OpAssertFlowSLO:
+		if s.MaxBlackholedPct == nil && s.MaxLostPct == nil {
+			return fmt.Errorf("assert-flow-slo needs maxBlackholedPct or maxLostPct")
+		}
+		if (s.MaxBlackholedPct != nil && *s.MaxBlackholedPct < 0) ||
+			(s.MaxLostPct != nil && *s.MaxLostPct < 0) {
+			return fmt.Errorf("assert-flow-slo bounds must be >= 0")
+		}
+		if s.Window < 0 {
+			return fmt.Errorf("assert-flow-slo window must be >= 0")
+		}
 	case OpSleep:
 		if s.Duration <= 0 {
 			return fmt.Errorf("sleep needs a positive duration")
@@ -333,6 +370,11 @@ func (sp *Spec) Validate() error {
 		}
 		if err := inv.Validate(); err != nil {
 			return fmt.Errorf("scenario %s: invariant %d: %w", sp.Name, i, err)
+		}
+	}
+	if sp.Traffic != nil {
+		if err := sp.Traffic.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", sp.Name, err)
 		}
 	}
 	if len(sp.Steps) == 0 {
@@ -390,6 +432,7 @@ func (sp *Spec) Clone() *Spec {
 		cl := *sp.Topology.Clos
 		c.Topology.Clos = &cl
 	}
+	c.Traffic = sp.Traffic.Clone()
 	c.Invariants = cloneSteps(sp.Invariants)
 	c.Steps = cloneSteps(sp.Steps)
 	return &c
@@ -416,6 +459,15 @@ func cloneSteps(steps []Step) []Step {
 			nd.Peers = append([]string(nil), nd.Peers...)
 			nd.Originated = append([]string(nil), nd.Originated...)
 			s.NewDevice = &nd
+		}
+		s.Traffic = s.Traffic.Clone()
+		if s.MaxBlackholedPct != nil {
+			v := *s.MaxBlackholedPct
+			s.MaxBlackholedPct = &v
+		}
+		if s.MaxLostPct != nil {
+			v := *s.MaxLostPct
+			s.MaxLostPct = &v
 		}
 		s.Devices = append([]string(nil), s.Devices...)
 	}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # bench.sh — one-shot benchmark capture: runs the crystalbench experiment
 # suite (-quick -json), the §10 M-DC scale benchmark (interned vs baseline,
-# with closing runtime.MemStats), plus the Go micro-benchmarks for the hot
+# with closing runtime.MemStats), the traffic-plane benchmark (1M flows on
+# S-DC, flows-settled/s), plus the Go micro-benchmarks for the hot
 # packages, and merges everything into BENCH_<date>.json (gitignored) via
 # cmd/benchjson.
 #
@@ -30,6 +31,10 @@ if [ "${BENCH_NOSCALE:-}" != "1" ]; then
     "$tmp/crystalbench" -scale mdc -json -memstats "$tmp/memstats.json" >"$tmp/scale.json"
     scale_args="-scale $tmp/scale.json -memstats $tmp/memstats.json"
 fi
+
+echo "== crystalbench -traffic (1M flows on S-DC, flows-settled/s)" >&2
+"$tmp/crystalbench" -traffic 1000000 -json >"$tmp/traffic.json"
+scale_args="$scale_args -traffic $tmp/traffic.json"
 
 echo "== go micro-benchmarks" >&2
 go test -run '^$' -bench . -benchmem -benchtime 0.2s \

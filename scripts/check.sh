@@ -27,7 +27,7 @@ go test ./...
 
 echo "== go test -race (concurrency-touching packages)"
 go test -race ./internal/parallel/ ./internal/sim/ ./internal/experiments/ ./internal/checkpoint/ \
-    ./internal/obs/ ./internal/serve/ ./internal/bgp/ ./internal/rib/
+    ./internal/obs/ ./internal/serve/ ./internal/bgp/ ./internal/rib/ ./internal/traffic/
 
 echo "== sealed-attrs immutability assertions (-tags crystaldebug)"
 go test -tags crystaldebug ./internal/bgp/
@@ -44,6 +44,9 @@ go test -race ./internal/scenario/ -run 'TestForkedRunMatchesFreshRun|TestChaosR
 echo "== sharded-convergence determinism under -race (serial vs sharded, byte-compare)"
 go test -race ./internal/scenario/ -run 'TestSharded' -timeout 10m
 go test -race ./internal/sim/ -run 'TestShardSet' -timeout 10m
+
+echo "== traffic-plane determinism under -race (workers/shards/fork, byte-compare)"
+go test -race ./internal/scenario/ -run 'TestTraffic' -timeout 10m
 
 echo "== trace-determinism smoke (same-seed traces byte-identical, incl. across a fork)"
 go test ./internal/scenario/ -run 'TestTraceDeterminism|TestTraceSurvivesFork|TestChaosTraceDeterminism'
@@ -99,8 +102,11 @@ go run ./cmd/doccheck
 if [ "${SHORT:-}" != "1" ]; then
     echo "== M-DC smoke (crystalbench -scale mdc, sharded, bounded)"
     timeout 600 go run ./cmd/crystalbench -scale mdc -shards 4 -nobaseline >/dev/null
+
+    echo "== traffic smoke (S-DC campaign under a 1M-flow matrix with assert-flow-slo)"
+    timeout 600 "$tmp/crystalctl" run-scenario scenarios/traffic_slo.json >/dev/null
 else
-    echo "== M-DC smoke skipped (SHORT=1)"
+    echo "== M-DC and traffic smokes skipped (SHORT=1)"
 fi
 
 echo "OK"
