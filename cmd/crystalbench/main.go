@@ -93,7 +93,7 @@ func main() {
 	ldcScale := flag.Int("ldcscale", 8, "L-DC downscale divisor (1 = full fabric)")
 	quick := flag.Bool("quick", false, "reduced sweep: S-DC only, 2 reps")
 	workers := flag.Int("workers", 0, "worker pool size for independent emulation runs (0 = GOMAXPROCS)")
-	only := flag.String("only", "", "comma-separated subset: table1,figure1,figure7,table3,figure8,figure9,sec83,table4,sec9")
+	only := flag.String("only", "", "comma-separated subset: table1,figure1,figure7,table3,figure8,figure9,sec83,table4,table4solve,sec9")
 	jsonOut := flag.Bool("json", false, "emit raw experiment structs as JSON instead of formatted tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to `file`")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken after the runs) to `file`")
@@ -226,6 +226,11 @@ func main() {
 		rows := experiments.Table4(*workers)
 		emit("table4", "Table 4 — safe-boundary emulation scales in L-DC",
 			experiments.FormatTable4(rows), rows)
+	}
+	if run("table4solve") {
+		rows := experiments.Table4Solve(*workers)
+		emit("table4solve", "Table 4 (generalized) — solver vs hand-picked boundaries in L-DC",
+			experiments.FormatTable4Solve(rows), rows)
 	}
 	if run("sec9") {
 		r := experiments.CrossValidate(*workers)

@@ -10,7 +10,10 @@
 //
 // Commands:
 //
-//	plan                      compute and print the safe boundary (no emulation)
+//	plan [-solve d1,d2,...]   compute and print the safe boundary (no emulation);
+//	                          -solve searches for the cheapest certified-safe
+//	                          emulated set containing the targets and prints a
+//	                          ranked Table-4-style report
 //	mockup                    mock up, converge, print metrics and a state summary
 //	fibs <device>             mock up and dump a device's forwarding table
 //	exec <device> <cmd>       mock up and run a CLI command over the mgmt plane
@@ -51,6 +54,8 @@ import (
 	"time"
 
 	"crystalnet"
+	"crystalnet/internal/bgp"
+	"crystalnet/internal/boundary"
 	"crystalnet/internal/scenario"
 	"crystalnet/internal/topo"
 	"crystalnet/internal/traffic"
@@ -60,7 +65,9 @@ func usage() {
 	fmt.Fprintf(flag.CommandLine.Output(), `usage: crystalctl [flags] <command> [args]
 
 Commands:
-  plan                      compute and print the safe boundary (no emulation)
+  plan [-solve d1,d2,...]   compute and print the safe boundary (no emulation);
+                            -solve searches for the cheapest certified-safe
+                            emulated set containing the targets (-alts, -json)
   mockup                    mock up, converge, print metrics and a state summary
   fibs <device>             mock up and dump a device's forwarding table
   exec <device> <command>   mock up and run a CLI command over the mgmt plane
@@ -96,6 +103,12 @@ Flags:
 // arguments are wrong — the global flag dump would bury the one line the
 // operator needs.
 var subUsage = map[string]string{
+	"plan": `crystalctl [flags] plan [-solve dev1,dev2,... [-alts N] [-json]]
+  Compute and print the safe boundary without emulating. With -solve,
+  search the candidate emulated sets containing the targets, certify
+  each (Prop 5.2/5.3, Lemma 5.1 on small nets) and print the cheapest
+  plus -alts ranked alternatives; the "spec emulate list" line pastes
+  into a scenario spec's "emulate" field.`,
 	"fibs": `crystalctl [flags] fibs <device>
   Mock up the fabric and dump <device>'s forwarding table.`,
 	"exec": `crystalctl [flags] exec <device> <command...>
@@ -204,6 +217,21 @@ func main() {
 		args = fs.Args()
 		need("traffic", len(args) == 0)
 		trafficFlows, trafficJSON = *flows, *jsonOut
+	}
+
+	// The plan subcommand takes its own flag set: crystalctl plan
+	// [-solve dev1,dev2 [-alts N] [-json]].
+	planSolve, planAlts, planJSON := "", 3, false
+	if cmd == "plan" {
+		fs := flag.NewFlagSet("plan", flag.ExitOnError)
+		solve := fs.String("solve", "", "comma-separated target devices: search for the cheapest certified-safe emulated set containing them")
+		alts := fs.Int("alts", 3, "solve: near-optimal alternatives to rank below the winner")
+		jsonOut := fs.Bool("json", false, "solve: print the solver result as JSON instead of the report table")
+		fs.Usage = func() { need("plan", false) }
+		fs.Parse(args)
+		args = fs.Args()
+		need("plan", len(args) == 0)
+		planSolve, planAlts, planJSON = *solve, *alts, *jsonOut
 	}
 
 	// The trace subcommand takes its own flag set: crystalctl trace -out
@@ -320,6 +348,28 @@ func main() {
 	network := crystalnet.GenerateClos(spec)
 	topo.AttachWAN(network, spec, 2)
 
+	// plan -solve searches boundaries without preparing an emulation: no
+	// orchestrator, no VMs — just the solver's ranked report.
+	if cmd == "plan" && planSolve != "" {
+		res, err := boundary.Solve(network, strings.Split(planSolve, ","), boundary.SolveOptions{
+			Seed: *seed, MaxAlternatives: planAlts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if planJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		fmt.Print(res.Report())
+		fmt.Printf("\nspec emulate list (best): %s\n", strings.Join(res.Best.Emulated, ","))
+		return
+	}
+
 	var mustList []string
 	if *must != "" {
 		mustList = strings.Split(*must, ",")
@@ -362,16 +412,16 @@ func main() {
 
 	switch cmd {
 	case "mockup":
-		var running, established, fibTotal int
+		var running, fibTotal int
 		for _, st := range em.PullStates() {
 			if st.State == crystalnet.DeviceRunning {
 				running++
 			}
-			established += st.Established
 			fibTotal += st.FIBLen
 		}
-		fmt.Printf("devices running: %d/%d, BGP sessions established: %d, total FIB entries: %d\n",
-			running, len(em.Devices), established/2, fibTotal)
+		full, half := sessionCounts(em)
+		fmt.Printf("devices running: %d/%d, BGP sessions established: %d (half-open: %d), total FIB entries: %d\n",
+			running, len(em.Devices), full, half, fibTotal)
 	case "fibs":
 		need(cmd, len(args) >= 1)
 		snap, ok := em.PullFIBs()[args[0]]
@@ -437,6 +487,36 @@ func main() {
 	o.Eng.Run(0)
 	o.Destroy(prep)
 	exportTrace(rec, *traceOut, *traceJSON, *obsSummary)
+}
+
+// sessionCounts pairs established BGP peerings by their unordered device
+// endpoints: a session is fully established only when both sides report
+// Established; an endpoint whose remote disagrees (mid-flap, cut link) is
+// half-open. Summing per-device counters and halving — the old report —
+// silently truncated those odd endpoints away.
+func sessionCounts(em *crystalnet.Emulation) (full, half int) {
+	pairs := map[[2]string]int{}
+	for name, d := range em.Devices {
+		r := d.BGP()
+		if r == nil {
+			continue
+		}
+		for _, p := range r.Peers() {
+			if p.State() != bgp.StateEstablished {
+				continue
+			}
+			key := [2]string{name, p.Config.Name}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			pairs[key]++
+		}
+	}
+	for _, c := range pairs {
+		full += c / 2
+		half += c % 2
+	}
+	return full, half
 }
 
 // rehearseRemote submits a spec file to a crystald daemon's /v1/rehearse

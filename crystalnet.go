@@ -125,6 +125,10 @@ type (
 	Announcement = speaker.Announcement
 	// Plan classifies devices around an emulation boundary.
 	Plan = boundary.Plan
+	// BoundarySolveOptions tunes SolveBoundary; BoundarySolveResult is its
+	// ranked output.
+	BoundarySolveOptions = boundary.SolveOptions
+	BoundarySolveResult  = boundary.SolveResult
 )
 
 // Configuration building blocks re-exported for scenario authoring.
@@ -210,6 +214,13 @@ func FindSafeDCBoundary(n *Network, must []string) (map[string]bool, error) {
 // §5.2 safety checks.
 func BuildPlan(n *Network, emulated map[string]bool) (*Plan, error) {
 	return boundary.BuildPlan(n, emulated)
+}
+
+// SolveBoundary searches for the cheapest certified-safe emulated set
+// containing targets, ranked by VM count and hourly cost — the automated
+// alternative to hand-picking a must-emulate set for FindSafeDCBoundary.
+func SolveBoundary(n *Network, targets []string, opts BoundarySolveOptions) (*BoundarySolveResult, error) {
+	return boundary.Solve(n, targets, opts)
 }
 
 // ComputePaths reconstructs probe paths from pulled captures.

@@ -101,6 +101,12 @@ func (p *Plan) CheckProposition52() error {
 	seen := map[uint32]string{}
 	for _, name := range p.Speakers {
 		d := p.Network.MustDevice(name)
+		if len(p.Boundary) > 0 && d.ASN == as {
+			// §5.2 assumes speakers sit in external ASes distinct from the
+			// boundary AS; a speaker inside it would accept boundary-originated
+			// updates back across the cut.
+			return fmt.Errorf("boundary: speaker %s is in the boundary AS %d", name, d.ASN)
+		}
 		if prev, dup := seen[d.ASN]; dup {
 			return fmt.Errorf("boundary: speakers %s and %s share AS %d", prev, name, d.ASN)
 		}
@@ -274,6 +280,9 @@ func FindSafeDCBoundary(n *topo.Network, must []string) (map[string]bool, error)
 		d := n.Device(name)
 		if d == nil {
 			return nil, fmt.Errorf("boundary: unknown device %q", name)
+		}
+		if d.Layer == topo.LayerExternal {
+			return nil, fmt.Errorf("boundary: device %q is external (layer %s); external devices are replaced by speakers, not emulated", name, d.Layer)
 		}
 		queue = append(queue, d)
 	}

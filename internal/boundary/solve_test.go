@@ -1,0 +1,284 @@
+package boundary
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+
+	"crystalnet/internal/topo"
+)
+
+// chain builds spine A (AS100) — leaf B (AS100) — tor C (AS200): a speaker
+// that sits inside the single boundary AS.
+func chain() *topo.Network {
+	n := topo.NewNetwork("chain")
+	a := n.AddDevice("A", topo.LayerSpine, 100, "ctnra")
+	b := n.AddDevice("B", topo.LayerLeaf, 100, "ctnra")
+	c := n.AddDevice("C", topo.LayerToR, 200, "ctnrb")
+	n.Connect(a, b)
+	n.Connect(b, c)
+	return n
+}
+
+func TestProposition52RejectsSpeakerInBoundaryAS(t *testing.T) {
+	// Regression: the boundary device A and its speaker B share AS 100.
+	// §5.2 assumes speakers sit in distinct *external* ASes — a speaker
+	// inside the boundary AS must be rejected, not silently accepted
+	// because it collides with no other speaker.
+	p, err := BuildPlan(chain(), set("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.CheckProposition52()
+	if err == nil {
+		t.Fatal("speaker B shares the boundary AS 100; prop 5.2 must fail")
+	}
+	if !strings.Contains(err.Error(), "boundary AS") {
+		t.Fatalf("want the speaker-in-boundary-AS error, got: %v", err)
+	}
+}
+
+func TestProposition52SpeakerOutsideBoundaryASStillPasses(t *testing.T) {
+	// Emulating A+B leaves only speaker C (AS 200) outside the boundary
+	// AS: 5.2 must keep certifying that.
+	p, _ := BuildPlan(chain(), set("A", "B"))
+	if err := p.CheckProposition52(); err != nil {
+		t.Fatalf("prop 5.2: %v", err)
+	}
+}
+
+func TestAlgorithm1RejectsExternalMust(t *testing.T) {
+	// Regression: an external must-device used to be emitted into the
+	// emulated set (only external *upper* neighbors were skipped),
+	// producing a nonsense boundary.
+	n := topo.GenerateClos(topo.SDC())
+	topo.AttachWAN(n, topo.SDC(), 2)
+	var ext string
+	for _, d := range n.DevicesByLayer(topo.LayerExternal) {
+		ext = d.Name
+		break
+	}
+	if ext == "" {
+		t.Fatal("no external device attached")
+	}
+	if _, err := FindSafeDCBoundary(n, []string{ext}); err == nil {
+		t.Fatal("external must-device accepted")
+	}
+	if _, err := Solve(n, []string{ext}, SolveOptions{}); err == nil {
+		t.Fatal("solver accepted an external target")
+	}
+}
+
+func TestSolveInputValidation(t *testing.T) {
+	n := figure7()
+	if _, err := Solve(n, nil, SolveOptions{}); err == nil {
+		t.Fatal("empty target set accepted")
+	}
+	if _, err := Solve(n, []string{"nope"}, SolveOptions{}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestSolveFigure7MinimalityVsBruteForce(t *testing.T) {
+	n := figure7()
+	targets := []string{"T1", "T3"}
+	res, err := Solve(n, targets, SolveOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range targets {
+		if !res.Best.Plan.Emulated[name] {
+			t.Fatalf("best plan misses target %s", name)
+		}
+	}
+	if _, err := res.Best.Plan.Certify(n.NumDevices()); err != nil {
+		t.Fatalf("best plan does not re-certify: %v", err)
+	}
+
+	// Brute force: enumerate every superset of the targets up to the
+	// solver's answer size, certifying each exactly like the solver does
+	// (5.2, 5.3, then the Lemma 5.1 walk). The smallest safe superset
+	// must be what the solver returned.
+	var rest []string
+	for _, d := range n.Devices() {
+		if d.Name != "T1" && d.Name != "T3" {
+			rest = append(rest, d.Name)
+		}
+	}
+	maxExtra := res.Best.Scale.TotalEmulated - len(targets)
+	bruteMin := -1
+	for k := 0; k <= maxExtra && bruteMin < 0; k++ {
+		for mask := 0; mask < 1<<len(rest); mask++ {
+			if bits.OnesCount(uint(mask)) != k {
+				continue
+			}
+			emu := set(targets...)
+			for i, name := range rest {
+				if mask&(1<<i) != 0 {
+					emu[name] = true
+				}
+			}
+			p, err := BuildPlan(n, emu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Certify(n.NumDevices()); err == nil {
+				bruteMin = len(targets) + k
+				break
+			}
+		}
+	}
+	if bruteMin < 0 {
+		t.Fatalf("brute force found no safe set up to size %d", res.Best.Scale.TotalEmulated)
+	}
+	if res.Best.Scale.TotalEmulated != bruteMin {
+		t.Fatalf("solver best emulates %d devices; brute-force minimum is %d",
+			res.Best.Scale.TotalEmulated, bruteMin)
+	}
+}
+
+func TestSolveDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	n1 := topo.GenerateClos(topo.MDC())
+	var targets []string
+	for _, d := range n1.DevicesInPod(3) {
+		targets = append(targets, d.Name)
+	}
+	res1, err := Solve(n1, targets, SolveOptions{Seed: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := topo.GenerateClos(topo.MDC())
+	res2, err := Solve(n2, targets, SolveOptions{Seed: 42, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1, r2 := res1.Report(), res2.Report(); r1 != r2 {
+		t.Fatalf("reports differ across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", r1, r2)
+	}
+	if k1, k2 := res1.Best.key(), res2.Best.key(); k1 != k2 {
+		t.Fatalf("best emulated sets differ:\n%s\nvs\n%s", k1, k2)
+	}
+}
+
+func TestSolveSmallerThanFullOnMDC(t *testing.T) {
+	n := topo.GenerateClos(topo.MDC())
+	var targets []string
+	for _, d := range n.DevicesInPod(0) {
+		targets = append(targets, d.Name)
+	}
+	res, err := Solve(n, targets, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Scale.VMs >= res.FullVMs {
+		t.Fatalf("best %d VMs is not smaller than full emulation's %d", res.Best.Scale.VMs, res.FullVMs)
+	}
+	if res.CostReduction <= 0 {
+		t.Fatalf("cost reduction = %.3f, want > 0", res.CostReduction)
+	}
+}
+
+// handPicked reproduces the Table 4 hand-picked flow: Algorithm 1 closure
+// of the musts, checked safe, scaled.
+func handPicked(t *testing.T, n *topo.Network, must []string) Scale {
+	t.Helper()
+	emu, err := FindSafeDCBoundary(n, must)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPlan(n, emu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckSafe(); err != nil {
+		t.Fatal(err)
+	}
+	return p.Scale()
+}
+
+func TestSolveMatchesOrBeatsHandPickedOnePod(t *testing.T) {
+	n := topo.GenerateClos(topo.LDC())
+	var targets []string
+	for _, d := range n.DevicesInPod(0) {
+		targets = append(targets, d.Name)
+	}
+	hand := handPicked(t, n, targets)
+	res, err := Solve(n, targets, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Scale.VMs > hand.VMs {
+		t.Fatalf("solver best %d VMs worse than hand-picked %d", res.Best.Scale.VMs, hand.VMs)
+	}
+	// The pod's layer-capped closure needs no spines or borders at all —
+	// strictly cheaper than the hand-picked upward closure.
+	if res.Best.Scale.VMs >= hand.VMs {
+		t.Fatalf("one-pod solve should beat the hand-picked plan: %d vs %d VMs", res.Best.Scale.VMs, hand.VMs)
+	}
+}
+
+func TestSolveMatchesOrBeatsHandPickedAllSpines(t *testing.T) {
+	n := topo.GenerateClos(topo.LDC())
+	var targets []string
+	for _, d := range n.DevicesByLayer(topo.LayerSpine) {
+		targets = append(targets, d.Name)
+	}
+	hand := handPicked(t, n, targets)
+	res, err := Solve(n, targets, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Scale.VMs > hand.VMs {
+		t.Fatalf("solver best %d VMs worse than hand-picked %d", res.Best.Scale.VMs, hand.VMs)
+	}
+	if res.Best.Scale.TotalEmulated > hand.TotalEmulated {
+		t.Fatalf("solver best emulates %d devices, hand-picked only %d",
+			res.Best.Scale.TotalEmulated, hand.TotalEmulated)
+	}
+}
+
+func TestSolveShrinkRemovesSlack(t *testing.T) {
+	// The solver's answer must be locally minimal: removing any single
+	// non-target device from the winning set must break certification,
+	// otherwise the greedy shrinker left slack on the table.
+	n := figure7()
+	res, err := Solve(n, []string{"T1"}, SolveOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range res.Best.Emulated {
+		if name == "T1" {
+			continue
+		}
+		smaller := set(res.Best.Emulated...)
+		delete(smaller, name)
+		p, err := BuildPlan(n, smaller)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Certify(n.NumDevices()); err == nil {
+			t.Fatalf("removing %s keeps the plan safe — solver missed a smaller set %v",
+				name, sortedNames(smaller))
+		}
+	}
+}
+
+func TestSolveReportStable(t *testing.T) {
+	n := topo.GenerateClos(topo.SDC())
+	res, err := Solve(n, []string{"tor-p0-0", "tor-p1-0"}, SolveOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if !strings.Contains(rep, "safe-boundary solve") || !strings.Contains(rep, "best") {
+		t.Fatalf("report missing expected framing:\n%s", rep)
+	}
+	n2 := topo.GenerateClos(topo.SDC())
+	res2, err := Solve(n2, []string{"tor-p0-0", "tor-p1-0"}, SolveOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != res2.Report() {
+		t.Fatal("repeated solve produced a different report")
+	}
+}

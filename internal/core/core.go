@@ -132,6 +132,12 @@ type PrepareInput struct {
 	// MustEmulate lists required devices; Algorithm 1 grows it to a safe
 	// boundary. Empty means "emulate every non-external device".
 	MustEmulate []string
+	// Emulate, when non-empty, is the exact emulated set — no Algorithm 1
+	// growth. It is how solver output (boundary.Solve) is executed: the
+	// plan is taken as-is and certified via Prop 5.2/5.3 with the Lemma
+	// 5.1 fallback on scenario-scale topologies. Mutually exclusive with
+	// MustEmulate.
+	Emulate []string
 	// Configs are production configurations; nil generates them (the
 	// production pipeline's generator, §2).
 	Configs map[string]*config.DeviceConfig
@@ -147,6 +153,11 @@ type PrepareInput struct {
 	// traverse the Internet overlay.
 	Hardware []string
 }
+
+// exactLemmaLimit caps the topology size on which Prepare certifies an
+// exact emulated set with the exponential Lemma 5.1 walk (matching the
+// solver's default), so Prepare and boundary.Solve agree on safety.
+const exactLemmaLimit = 32
 
 // vmAssignment places one device on one VM of a vendor group.
 type vmAssignment struct {
@@ -195,14 +206,30 @@ func (o *Orchestrator) Prepare(in PrepareInput) (*Preparation, error) {
 	}
 	// 1. Compute the emulated set.
 	var emulated map[string]bool
-	if len(in.MustEmulate) == 0 {
+	exact := len(in.Emulate) > 0
+	switch {
+	case exact && len(in.MustEmulate) > 0:
+		return nil, fmt.Errorf("core: Emulate and MustEmulate are mutually exclusive")
+	case exact:
+		emulated = map[string]bool{}
+		for _, name := range in.Emulate {
+			d := in.Network.Device(name)
+			if d == nil {
+				return nil, fmt.Errorf("core: unknown emulate device %q", name)
+			}
+			if d.Layer == topo.LayerExternal {
+				return nil, fmt.Errorf("core: emulate device %q is external; external devices are replaced by speakers", name)
+			}
+			emulated[name] = true
+		}
+	case len(in.MustEmulate) == 0:
 		emulated = map[string]bool{}
 		for _, d := range in.Network.Devices() {
 			if d.Layer != topo.LayerExternal {
 				emulated[d.Name] = true
 			}
 		}
-	} else {
+	default:
 		var err error
 		emulated, err = boundary.FindSafeDCBoundary(in.Network, in.MustEmulate)
 		if err != nil {
@@ -221,7 +248,14 @@ func (o *Orchestrator) Prepare(in PrepareInput) (*Preparation, error) {
 		Routes:   map[string][]speaker.Announcement{},
 		hardware: map[string]bool{},
 	}
-	prep.SafetyErr = plan.CheckSafe()
+	if exact {
+		// Exact sets come from the solver, which may have certified them
+		// via the Lemma 5.1 walk rather than the propositions; re-certify
+		// the same way so a solver-planned fabric is not rejected.
+		_, prep.SafetyErr = plan.Certify(exactLemmaLimit)
+	} else {
+		prep.SafetyErr = plan.CheckSafe()
+	}
 	for _, name := range in.Hardware {
 		if !emulated[name] {
 			return nil, fmt.Errorf("core: hardware device %q is not in the emulated set", name)

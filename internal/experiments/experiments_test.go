@@ -116,6 +116,33 @@ func TestTable4BoundaryScales(t *testing.T) {
 	}
 }
 
+func TestTable4SolveBeatsOrMatchesHandPicked(t *testing.T) {
+	rows := Table4Solve()
+	for _, r := range rows {
+		if r.VMs > r.HandVMs {
+			t.Fatalf("%s: solver best %d VMs worse than hand-picked %d", r.Case, r.VMs, r.HandVMs)
+		}
+		if r.Devices > r.HandDevices {
+			t.Fatalf("%s: solver emulates %d devices, hand-picked only %d", r.Case, r.Devices, r.HandDevices)
+		}
+		if r.Cert == "" {
+			t.Fatalf("%s: no certificate", r.Case)
+		}
+	}
+	// The pod case needs no spines or borders at all: strictly cheaper
+	// than the upward closure the paper's table hand-picked.
+	if pod := rows[0]; pod.VMs >= pod.HandVMs {
+		t.Fatalf("one-pod solve should beat hand-picked: %d vs %d VMs", pod.VMs, pod.HandVMs)
+	}
+	if !strings.Contains(FormatTable4Solve(rows), "One Pod") {
+		t.Fatal("format broken")
+	}
+	// Byte determinism across worker counts.
+	if FormatTable4Solve(Table4Solve(1)) != FormatTable4Solve(Table4Solve(4)) {
+		t.Fatal("Table4Solve output differs across worker counts")
+	}
+}
+
 func TestFigure8SmokeSDC(t *testing.T) {
 	points := Figure8(Figure8Config{Reps: 2, SkipMDC: true, SkipLDC: true})
 	if len(points) != 2 {

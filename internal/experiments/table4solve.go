@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crystalnet/internal/boundary"
+	"crystalnet/internal/cloud"
+	"crystalnet/internal/parallel"
+	"crystalnet/internal/topo"
+)
+
+// Table4SolveRow compares the boundary solver's best plan against the
+// hand-picked Algorithm-1 closure for one Table 4 validation case.
+type Table4SolveRow struct {
+	Case     string
+	Strategy string
+	Cert     boundary.Certificate
+	// Solver best.
+	Borders, Spines, Leaves, ToRs int
+	Devices, Speakers             int
+	Proportion                    float64
+	VMs                           int
+	CostPerHourUSD                float64
+	// Hand-picked Algorithm-1 baseline for the same targets.
+	HandVMs     int
+	HandDevices int
+	HandCost    float64
+	// Reductions vs. full emulation and vs. the hand-picked plan.
+	FullVMs       int
+	FullCost      float64
+	CostReduction float64
+	VsHand        float64
+}
+
+// Table4Solve generalizes Table 4: instead of evaluating only the two
+// hand-picked subsets, it runs boundary.Solve on the same target sets
+// (one pod, the whole spine layer) over the full L-DC topology and
+// reports the solver's winner next to the Algorithm-1 closure the paper's
+// table used. An optional workers argument bounds the pool (default
+// GOMAXPROCS); each job regenerates the deterministic L-DC topology so
+// jobs share no state, and solver output is deterministic for any worker
+// count.
+func Table4Solve(workers ...int) []Table4SolveRow {
+	w := 0
+	if len(workers) > 0 {
+		w = workers[0]
+	}
+	cases := []struct {
+		name    string
+		targets func(n *topo.Network) []string
+	}{
+		{"One Pod", func(n *topo.Network) []string {
+			var out []string
+			for _, d := range n.DevicesInPod(0) {
+				out = append(out, d.Name)
+			}
+			return out
+		}},
+		{"All Spines", func(n *topo.Network) []string {
+			var out []string
+			for _, d := range n.DevicesByLayer(topo.LayerSpine) {
+				out = append(out, d.Name)
+			}
+			return out
+		}},
+	}
+	return parallel.Map(len(cases), w, func(i int) Table4SolveRow {
+		n := topo.GenerateClos(topo.LDC())
+		targets := cases[i].targets(n)
+		res, err := boundary.Solve(n, targets, boundary.SolveOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("table4solve %s: %v", cases[i].name, err))
+		}
+		hand := handPickedScale(n, targets)
+		s := res.Best.Scale
+		return Table4SolveRow{
+			Case:     cases[i].name,
+			Strategy: res.Best.Strategy,
+			Cert:     res.Best.Certificate,
+			Borders:  s.LayerCounts[topo.LayerBorder], Spines: s.LayerCounts[topo.LayerSpine],
+			Leaves: s.LayerCounts[topo.LayerLeaf], ToRs: s.LayerCounts[topo.LayerToR],
+			Devices: s.TotalEmulated, Speakers: s.Speakers,
+			Proportion: s.Proportion,
+			VMs:        s.VMs, CostPerHourUSD: res.Best.HourlyUSD,
+			HandVMs: hand.VMs, HandDevices: hand.TotalEmulated,
+			HandCost: float64(hand.VMs) * cloud.SKUStandard.PricePerHour,
+			FullVMs:  res.FullVMs, FullCost: res.FullHourlyUSD,
+			CostReduction: res.CostReduction,
+			VsHand:        1 - float64(s.VMs)/float64(hand.VMs),
+		}
+	})
+}
+
+// handPickedScale reproduces the Table 4 hand-picked flow for a target
+// set: Algorithm 1 closure, checked safe, scaled.
+func handPickedScale(n *topo.Network, must []string) boundary.Scale {
+	emu, err := boundary.FindSafeDCBoundary(n, must)
+	if err != nil {
+		panic(err)
+	}
+	p, err := boundary.BuildPlan(n, emu)
+	if err != nil {
+		panic(err)
+	}
+	if err := p.CheckSafe(); err != nil {
+		panic(fmt.Sprintf("table4solve: hand-picked boundary unsafe: %v", err))
+	}
+	return p.Scale()
+}
+
+// FormatTable4Solve renders the solver-vs-hand-picked comparison.
+func FormatTable4Solve(rows []Table4SolveRow) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Case, r.Strategy, string(r.Cert),
+			fmt.Sprintf("%d", r.Borders), fmt.Sprintf("%d", r.Spines),
+			fmt.Sprintf("%d", r.Leaves), fmt.Sprintf("%d", r.ToRs),
+			fmt.Sprintf("%d", r.Speakers),
+			fmt.Sprintf("%.1f%%", r.Proportion*100),
+			fmt.Sprintf("%d", r.VMs),
+			fmt.Sprintf("$%.2f/h", r.CostPerHourUSD),
+			fmt.Sprintf("%d VMs $%.2f/h", r.HandVMs, r.HandCost),
+			fmt.Sprintf("%.1f%%", r.CostReduction*100),
+			fmt.Sprintf("%.1f%%", r.VsHand*100),
+		})
+	}
+	return table([]string{"Case", "Strategy", "Cert", "#Borders", "#Spines", "#Leaves", "#ToRs", "#Speakers", "Prop.", "VMs", "Cost", "Hand-picked", "vs Full", "vs Hand"}, cells)
+}

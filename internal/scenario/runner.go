@@ -259,7 +259,7 @@ func (r *runner) mockup(seed int64) error {
 		Shards: r.opts.Shards,
 	})
 	prep, err := r.orch.Prepare(core.PrepareInput{
-		Network: net, MustEmulate: must, Images: images,
+		Network: net, MustEmulate: must, Emulate: r.sp.Emulate, Images: images,
 	})
 	if err != nil {
 		return err

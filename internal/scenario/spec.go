@@ -226,6 +226,12 @@ type Spec struct {
 	MustEmulate     []string `json:"mustEmulate,omitempty"`
 	MustEmulatePods []int    `json:"mustEmulatePods,omitempty"`
 
+	// Emulate is the exact emulated set — no Algorithm 1 growth. It is
+	// how /v1/plan and `crystalctl plan -solve` output is executed, so a
+	// rehearsal forks a fabric no bigger than its plan. Mutually
+	// exclusive with MustEmulate and MustEmulatePods.
+	Emulate []string `json:"emulate,omitempty"`
+
 	// Images pins vendor images ({vendor: {name, version}}).
 	Images map[string]ImageRef `json:"images,omitempty"`
 
@@ -363,6 +369,9 @@ func (sp *Spec) Validate() error {
 			return fmt.Errorf("scenario %s: unknown dc %q", sp.Name, sp.Topology.DC)
 		}
 	}
+	if len(sp.Emulate) > 0 && (len(sp.MustEmulate) > 0 || len(sp.MustEmulatePods) > 0) {
+		return fmt.Errorf("scenario %s: emulate (an exact set) is mutually exclusive with mustEmulate/mustEmulatePods", sp.Name)
+	}
 	for i := range sp.Invariants {
 		inv := &sp.Invariants[i]
 		if !inv.IsAssert() {
@@ -422,6 +431,7 @@ func (sp *Spec) Clone() *Spec {
 	c := *sp
 	c.MustEmulate = append([]string(nil), sp.MustEmulate...)
 	c.MustEmulatePods = append([]int(nil), sp.MustEmulatePods...)
+	c.Emulate = append([]string(nil), sp.Emulate...)
 	if sp.Images != nil {
 		c.Images = make(map[string]ImageRef, len(sp.Images))
 		for k, v := range sp.Images {

@@ -122,6 +122,8 @@ func NewServer(cfg Config) *Server {
 			h = s.handleRehearse
 		case "/v1/chaos":
 			h = s.handleChaos
+		case "/v1/plan":
+			h = s.handlePlan
 		case "/v1/status":
 			h = s.handleStatus
 		case "/v1/pool/invalidate":

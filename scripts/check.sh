@@ -27,7 +27,8 @@ go test ./...
 
 echo "== go test -race (concurrency-touching packages)"
 go test -race ./internal/parallel/ ./internal/sim/ ./internal/experiments/ ./internal/checkpoint/ \
-    ./internal/obs/ ./internal/serve/ ./internal/bgp/ ./internal/rib/ ./internal/traffic/
+    ./internal/obs/ ./internal/serve/ ./internal/bgp/ ./internal/rib/ ./internal/traffic/ \
+    ./internal/boundary/
 
 echo "== sealed-attrs immutability assertions (-tags crystaldebug)"
 go test -tags crystaldebug ./internal/bgp/
@@ -92,6 +93,16 @@ if ! wait "$daemon"; then
     exit 1
 fi
 daemon=
+
+echo "== boundary-solver smoke (S-DC solve, plan output byte-deterministic)"
+"$tmp/crystalctl" plan -solve tor-p0-0,tor-p1-0 >"$tmp/solve1.out"
+"$tmp/crystalctl" plan -solve tor-p0-0,tor-p1-0 >"$tmp/solve2.out"
+if ! cmp -s "$tmp/solve1.out" "$tmp/solve2.out"; then
+    echo "plan -solve output not byte-deterministic across runs:" >&2
+    diff "$tmp/solve1.out" "$tmp/solve2.out" >&2 || true
+    exit 1
+fi
+grep -q "safe-boundary solve" "$tmp/solve1.out"
 
 echo "== docs gate (every package carries a doc comment linking the design docs)"
 go run ./cmd/doccheck
